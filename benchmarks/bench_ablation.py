@@ -1,0 +1,111 @@
+"""Ablations of the learning engine's design choices.
+
+Not a paper table -- these isolate the knobs DESIGN.md calls out:
+
+* simulation depth (the paper's 50-frame budget),
+* multiple-node learning on/off,
+* equivalence/tie coupling on/off,
+* event-driven sparsity (stems touched vs whole circuit).
+"""
+
+from conftest import emit_table, once
+
+from repro.circuit import figure1, iscas_like
+from repro.core import LearnConfig, learn
+
+
+def _depth_sweep():
+    circuit = iscas_like("s953", scale=0.5)
+    rows = []
+    for depth in (1, 2, 5, 10, 25, 50):
+        result = learn(circuit, LearnConfig(max_frames=depth))
+        counts = result.counts(sequential_only=True)
+        rows.append({
+            "max_frames": depth,
+            "FF-FF": counts["ff_ff"],
+            "Gate-FF": counts["gate_ff"],
+            "ties": len(result.ties),
+            "CPU(s)": round(result.elapsed, 3),
+        })
+    return rows
+
+
+def test_ablation_simulation_depth(benchmark):
+    rows = once(benchmark, _depth_sweep)
+    emit_table("ablation_depth",
+               ["max_frames", "FF-FF", "Gate-FF", "ties", "CPU(s)"], rows)
+    # Depth 1 is combinational-only: sequential relations need frames.
+    assert rows[0]["FF-FF"] <= rows[-1]["FF-FF"]
+    # Yield saturates: 25 frames finds almost everything 50 does.
+    assert rows[-2]["FF-FF"] >= rows[-1]["FF-FF"] * 0.9
+
+
+def _phase_ablation():
+    rows = []
+    for name, make in (("figure1", figure1),
+                       ("s953_like", lambda: iscas_like("s953",
+                                                        scale=0.5))):
+        circuit = make()
+        configs = [
+            ("single only", LearnConfig(use_multi_node=False,
+                                        use_equivalence=False)),
+            ("+multi", LearnConfig(use_equivalence=False)),
+            ("+multi+equiv", LearnConfig()),
+        ]
+        for label, config in configs:
+            result = learn(circuit, config)
+            counts = result.counts(sequential_only=True)
+            rows.append({
+                "circuit": name,
+                "phases": label,
+                "FF-FF": counts["ff_ff"],
+                "Gate-FF": counts["gate_ff"],
+                "ties": len(result.ties),
+                "CPU(s)": round(result.elapsed, 3),
+            })
+    return rows
+
+
+def test_ablation_learning_phases(benchmark):
+    rows = once(benchmark, _phase_ablation)
+    emit_table("ablation_phases",
+               ["circuit", "phases", "FF-FF", "Gate-FF", "ties",
+                "CPU(s)"], rows)
+    # Each phase only ever adds knowledge.
+    for name in ("figure1", "s953_like"):
+        series = [r for r in rows if r["circuit"] == name]
+        assert series[0]["FF-FF"] <= series[1]["FF-FF"] <= \
+            series[2]["FF-FF"]
+        assert series[0]["ties"] <= series[2]["ties"]
+    # On figure1 the multi phase is what proves G15 (3rd tie).
+    fig1 = [r for r in rows if r["circuit"] == "figure1"]
+    assert fig1[0]["ties"] == 2 and fig1[2]["ties"] == 3
+
+
+def _sparsity():
+    circuit = iscas_like("s1423", scale=0.5)
+    result = learn(circuit)
+    touched = 0
+    total_cells = 0
+    for data in result.single_node_data.values():
+        for run in data.runs.values():
+            for frame in run.frames:
+                touched += len(frame)
+                total_cells += len(circuit.nodes)
+    return {
+        "circuit": circuit.name,
+        "value_cells_touched": touched,
+        "dense_equivalent": total_cells,
+        "sparsity_%": round(100.0 * touched / max(total_cells, 1), 2),
+        "cpu_s": round(result.elapsed, 3),
+    }
+
+
+def test_ablation_event_driven_sparsity(benchmark):
+    row = once(benchmark, _sparsity)
+    emit_table("ablation_sparsity",
+               ["circuit", "value_cells_touched", "dense_equivalent",
+                "sparsity_%", "cpu_s"], [row])
+    # The event-driven simulator touches a small fraction of the dense
+    # (frames x nodes) value matrix -- the "fast" in the paper's title.
+    assert row["sparsity_%"] < 50.0

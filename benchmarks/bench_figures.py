@@ -1,0 +1,92 @@
+"""Figures 1 and 2: the paper's worked examples, regenerated end to end.
+
+Figure 1 is the learning walkthrough (stems, ties, the G15 conflict);
+Figure 2 is the relation no backward/forward technique extracts and its
+effect on ATPG decision nodes.  A density-of-encoding sweep over
+retiming moves reproduces the ref-[9] mechanism motivating the retimed
+rows of Table 5.
+"""
+
+from conftest import emit_table, once
+
+from repro.circuit import figure1, figure2, retime_circuit
+from repro.core import learn
+from repro.analysis import analyze_state_space
+from repro.atpg import Fault, SequentialATPG
+
+
+def _figure1_story():
+    circuit = figure1()
+    result = learn(circuit)
+    ties = [{"gate": circuit.nodes[t.nid].name,
+             "tied_to": t.value,
+             "kind": "sequential" if t.sequential else "combinational",
+             "found_by": t.phase}
+            for t in result.ties.all()]
+    return result, ties
+
+
+def test_figure1_learning_walkthrough(benchmark):
+    result, ties = once(benchmark, _figure1_story)
+    emit_table("figure1_ties", ["gate", "tied_to", "kind", "found_by"],
+               ties)
+    assert {t["gate"] for t in ties} == {"G3", "G8", "G15"}
+    seq = next(t for t in ties if t["gate"] == "G15")
+    assert seq["kind"] == "sequential" and seq["found_by"] == "multi"
+    assert result.validate(30, 10) == []
+
+
+def _figure2_story():
+    circuit = figure2()
+    learned = learn(circuit)
+    fault = Fault(circuit.nid("G9"), None, 1)
+    rows = []
+    for mode, relations in (("none", None),
+                            ("forbidden", learned.relations),
+                            ("known", learned.relations)):
+        atpg = SequentialATPG(circuit, relations=relations, mode=mode,
+                              backtrack_limit=1000, max_frames=6)
+        r = atpg.generate(fault)
+        rows.append({"mode": mode, "status": r.status,
+                     "decisions": r.decisions,
+                     "backtracks": r.backtracks})
+    return learned, rows
+
+
+def test_figure2_relation_and_decision_pruning(benchmark):
+    learned, rows = once(benchmark, _figure2_story)
+    emit_table("figure2_g9_sa1",
+               ["mode", "status", "decisions", "backtracks"], rows)
+    assert learned.relations.has("G9", 0, "F2", 0)
+    assert all(r["status"] == "detected" for r in rows)
+
+
+def _density_sweep():
+    base = figure2()
+    rows = []
+    for moves in range(0, 4):
+        circuit = base if moves == 0 else retime_circuit(
+            base, moves=moves, name=f"fig2_rt{moves}")
+        space = analyze_state_space(circuit)
+        learned = learn(circuit)
+        rows.append({
+            "retime_moves": moves,
+            "FFs": circuit.num_ffs,
+            "density": round(space.density_of_encoding, 4),
+            "invalid_state_relations":
+                len(learned.relations.invalid_state_relations()),
+        })
+    return rows
+
+
+def test_density_of_encoding_vs_retiming(benchmark):
+    rows = once(benchmark, _density_sweep)
+    emit_table("figure_density_vs_retiming",
+               ["retime_moves", "FFs", "density",
+                "invalid_state_relations"], rows)
+    # Retiming monotonically dilutes the encoding...
+    densities = [r["density"] for r in rows]
+    assert densities[-1] < densities[0]
+    # ...and learning finds correspondingly more invalid-state relations.
+    assert rows[-1]["invalid_state_relations"] > \
+        rows[0]["invalid_state_relations"]

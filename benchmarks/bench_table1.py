@@ -1,0 +1,46 @@
+"""Table 1: per-stem forward-simulation rows for the Figure 1 circuit.
+
+Regenerates the paper's simulation table -- for every fanout stem and
+both injected values, the implied (node=value) sets per time frame --
+and benchmarks the single-node learning pass that produces it.
+"""
+
+from conftest import emit_table, once
+
+from repro.circuit import figure1
+from repro.core import run_single_node
+from repro.sim import FrameSimulator
+
+
+def _stem_rows():
+    circuit = figure1()
+    simulator = FrameSimulator(circuit, active_ffs=set(circuit.ffs))
+    data = run_single_node(simulator, max_frames=50)
+    rows = []
+    max_frames_shown = 4
+    for (stem, value), result in sorted(
+            data.runs.items(),
+            key=lambda item: (circuit.nodes[item[0][0]].name, item[0][1])):
+        row = {"stem": f"{circuit.nodes[stem].name}={value}"}
+        for frame in range(max_frames_shown):
+            implied = data.implied_at(stem, value, frame)
+            row[f"T={frame}"] = " ".join(
+                f"{circuit.nodes[n].name}={v}"
+                for n, v in sorted(implied.items(),
+                                   key=lambda kv: circuit.nodes[kv[0]].name)
+            ) or "{}"
+        rows.append(row)
+    return rows, data
+
+
+def test_table1_stem_simulation(benchmark):
+    rows, data = once(benchmark, _stem_rows)
+    emit_table("table1_stem_simulation",
+               ["stem", "T=0", "T=1", "T=2", "T=3"], rows)
+    # Paper-anchored spot checks.
+    by_stem = {r["stem"]: r for r in rows}
+    assert "G3=0" in by_stem["I1=0"]["T=0"]
+    assert "G3=0" in by_stem["I1=1"]["T=0"]
+    assert "F3=1" in by_stem["I2=1"]["T=1"]
+    assert "F4=0" in by_stem["I2=1"]["T=3"]
+    assert "F3=1" in by_stem["F3=1"]["T=1"]

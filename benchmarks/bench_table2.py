@@ -1,0 +1,58 @@
+"""Table 2: learned invalid-state relations for Figure 1, by phase.
+
+The paper staged the columns: single-node relations, additional
+multiple-node relations, additional relations from gate-equivalence /
+tie knowledge.  We regenerate the staging by running the engine with
+phases progressively enabled.
+"""
+
+from conftest import emit_table, once
+
+from repro.circuit import figure1
+from repro.core import LearnConfig, learn
+
+
+def _staged():
+    single = learn(figure1(), LearnConfig(use_multi_node=False,
+                                          use_equivalence=False))
+    multi = learn(figure1(), LearnConfig(use_equivalence=False))
+    full = learn(figure1())
+    return single, multi, full
+
+
+def _ff_set(result):
+    out = set()
+    for relation in result.relations:
+        if result.relations.kind(relation) == "ff_ff":
+            a = result.circuit.nodes[relation.a].name
+            b = result.circuit.nodes[relation.b].name
+            out.add(f"{a}={relation.va} -> {b}={relation.vb}")
+    return out
+
+
+def test_table2_invalid_state_relations(benchmark):
+    single, multi, full = once(benchmark, _staged)
+    s = _ff_set(single)
+    m = _ff_set(multi)
+    f = _ff_set(full)
+    rows = []
+    for relation in sorted(s):
+        rows.append({"relation": relation, "phase": "single-node"})
+    for relation in sorted(m - s):
+        rows.append({"relation": relation, "phase": "+multiple-node"})
+    for relation in sorted(f - m):
+        rows.append({"relation": relation, "phase": "+equivalence/ties"})
+    emit_table("table2_invalid_state_relations",
+               ["relation", "phase"], rows)
+    # Paper's single-node column (canonical orientation flips some).
+    assert full.relations.has("F6", 1, "F4", 0)
+    assert full.relations.has("F6", 1, "F3", 1)
+    assert full.relations.has("F6", 1, "F2", 1)
+    assert full.relations.has("F6", 1, "F1", 1)
+    # Paper's multiple-node column.
+    for b, vb in [("F2", 0), ("F4", 1), ("F5", 0), ("F6", 0), ("F1", 0)]:
+        assert full.relations.has("F3", 0, b, vb), (b, vb)
+    # Staging grows monotonically.
+    assert s <= m <= f
+    # Ties: G3/G8 combinational, G15 sequential.
+    assert full.ties.names() == {"G3": 0, "G8": 0, "G15": 0}

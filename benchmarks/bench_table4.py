@@ -1,0 +1,46 @@
+"""Table 4: untestable faults via tie gates vs the FIRES-style baseline.
+
+The paper's point: tie-gate learning, although untestability is only a
+by-product, identifies a count of untestable faults *comparable* to the
+dedicated FIRES analysis -- more on some circuits, fewer on others.
+"""
+
+from conftest import emit_table, once
+
+from repro.circuit import figure1, iscas_like, retime_circuit
+from repro.atpg import compare_untestable
+
+WORKLOADS = [
+    ("figure1", lambda: figure1()),
+    ("s382_like", lambda: iscas_like("s382", scale=0.5)),
+    ("s641_like", lambda: iscas_like("s641", scale=0.5)),
+    ("s953_like", lambda: iscas_like("s953", scale=0.5)),
+    ("s1423_like", lambda: iscas_like("s1423", scale=0.35)),
+    ("s400_retimed", lambda: retime_circuit(
+        iscas_like("s400", scale=0.5), moves=4, name="s400_retimed")),
+]
+
+
+def _rows():
+    rows = []
+    for name, make in WORKLOADS:
+        comparison = compare_untestable(make())
+        row = comparison.row()
+        row["circuit"] = name
+        row["tie_cpu_s"] = round(comparison.tie_cpu_s, 3)
+        row["fires_cpu_s"] = round(comparison.fires_cpu_s, 3)
+        rows.append(row)
+    return rows
+
+
+def test_table4_untestable_faults(benchmark):
+    rows = once(benchmark, _rows)
+    emit_table("table4_tie_gates_vs_fires",
+               ["circuit", "total", "tie_gates", "fires", "tie_cpu_s",
+                "fires_cpu_s"], rows)
+    # Both mechanisms find untestable faults somewhere in the suite.
+    assert any(row["tie_gates"] > 0 for row in rows)
+    assert any(row["fires"] > 0 for row in rows)
+    # figure1's counts are exact: the G3/G8 class plus the G15 class.
+    fig1 = next(r for r in rows if r["circuit"] == "figure1")
+    assert fig1["tie_gates"] == 2

@@ -1,0 +1,70 @@
+"""repro -- sequential learning for real circuits, with ATPG application.
+
+A from-scratch Python reproduction of El-Maleh, Kassab and Rajski, "A
+Fast Sequential Learning Technique for Real Circuits with Application to
+Enhancing ATPG Performance" (DAC 1998).
+
+Quickstart::
+
+    from repro import figure1, learn, run_atpg
+
+    circuit = figure1()
+    learned = learn(circuit)
+    print(learned.summary())                 # relations, ties, CPU
+    stats = run_atpg(circuit, learned=learned, mode="forbidden",
+                     backtrack_limit=30)
+    print(stats.row())                       # det / untest / CPU
+
+Packages:
+
+* :mod:`repro.circuit` -- netlists, bench IO, built-ins, generator, retiming
+* :mod:`repro.sim` -- event-driven 3-valued, bit-parallel, fault simulation
+* :mod:`repro.core` -- the paper's sequential learning engine
+* :mod:`repro.atpg` -- sequential PODEM ATPG with learned-implication modes
+* :mod:`repro.analysis` -- density of encoding, exact state-space oracles
+"""
+
+from .circuit import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    counter,
+    equivalence_demo,
+    figure1,
+    figure2,
+    industrial_like,
+    iscas_like,
+    load_bench,
+    one_hot_ring,
+    parse_bench,
+    random_circuit,
+    retime_circuit,
+    s27,
+)
+from .core import LearnConfig, LearnResult, SequentialLearner, learn
+from .atpg import (
+    Fault,
+    SequentialATPG,
+    collapse_faults,
+    compare_modes,
+    compare_untestable,
+    fires_untestable,
+    run_atpg,
+)
+from .analysis import analyze_state_space
+from .sim import FrameSimulator, fault_simulate, simulate_sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit", "CircuitBuilder", "GateType",
+    "counter", "equivalence_demo", "figure1", "figure2",
+    "industrial_like", "iscas_like", "load_bench", "one_hot_ring",
+    "parse_bench", "random_circuit", "retime_circuit", "s27",
+    "LearnConfig", "LearnResult", "SequentialLearner", "learn",
+    "Fault", "SequentialATPG", "collapse_faults", "compare_modes",
+    "compare_untestable", "fires_untestable", "run_atpg",
+    "analyze_state_space",
+    "FrameSimulator", "fault_simulate", "simulate_sequence",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""State-space analysis: density of encoding, exact relation oracle."""
+
+from .reachability import (
+    StateSpace,
+    analyze_state_space,
+    check_relations_exact,
+    reachable_from,
+)
+
+__all__ = [
+    "StateSpace", "analyze_state_space", "check_relations_exact",
+    "reachable_from",
+]

@@ -1,0 +1,144 @@
+"""Explicit state-space analysis for small circuits.
+
+Reference [9] of the paper shows sequential ATPG complexity tracks the
+*density of encoding* -- the ratio of valid states to all 2^n states.
+Retiming lowers it, which is why the paper's retimed circuits are the
+hardest ATPG cases and the biggest learning wins.
+
+For circuits with a handful of FFs we can compute the metric exactly by
+explicit image iteration: starting from *all* 2^n states (power-up is
+arbitrary), repeatedly apply the transition function under every input
+vector; the limit cycle union is the set of states the circuit can still
+occupy after arbitrarily long operation.  Invalid-state relations learned
+by the paper's technique must hold on every such state -- the test suite
+uses this as an exact oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..circuit.gates import GateType, ONE, X, ZERO, eval_gate
+from ..circuit.netlist import Circuit
+
+
+@dataclass
+class StateSpace:
+    """Result of explicit reachability analysis."""
+
+    circuit_name: str
+    num_ffs: int
+    #: States (as bit tuples, FF order = circuit.ffs) surviving image
+    #: iteration from the full state set.
+    valid_states: FrozenSet[Tuple[int, ...]]
+
+    @property
+    def density_of_encoding(self) -> float:
+        """|valid| / 2^n -- the paper's (ref [9]) complexity indicator."""
+        return len(self.valid_states) / float(1 << self.num_ffs)
+
+    def is_valid(self, state: Tuple[int, ...]) -> bool:
+        return state in self.valid_states
+
+
+def _transition(circuit: Circuit, state: Tuple[int, ...],
+                inputs: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Next state under a fully specified input vector."""
+    values: Dict[int, int] = {}
+    for pid, val in zip(circuit.inputs, inputs):
+        values[pid] = val
+    for fid, val in zip(circuit.ffs, state):
+        values[fid] = val
+    for nid in circuit.topo_order:
+        node = circuit.nodes[nid]
+        if node.gate_type is GateType.TIE0:
+            values[nid] = ZERO
+        elif node.gate_type is GateType.TIE1:
+            values[nid] = ONE
+        else:
+            values[nid] = eval_gate(node.gate_type,
+                                    [values[f] for f in node.fanins])
+    return tuple(values[circuit.nodes[f].fanins[0]] for f in circuit.ffs)
+
+
+def analyze_state_space(circuit: Circuit, max_ffs: int = 16,
+                        max_iterations: int = 10_000) -> StateSpace:
+    """Exact valid-state set by image iteration from all states.
+
+    ``S_{k+1} = Image(S_k)``; the iteration reaches a fixpoint set that
+    every long-running execution stays inside.  Exponential in FF count,
+    so guarded by ``max_ffs``.
+    """
+    n = circuit.num_ffs
+    if n > max_ffs:
+        raise ValueError(
+            f"{circuit.name} has {n} FFs; explicit analysis capped at "
+            f"{max_ffs}")
+    input_vectors = list(product((0, 1), repeat=len(circuit.inputs)))
+    current: Set[Tuple[int, ...]] = set(product((0, 1), repeat=n))
+    history: Dict[FrozenSet[Tuple[int, ...]], int] = {}
+    trail: List[FrozenSet[Tuple[int, ...]]] = []
+    for iteration in range(max_iterations):
+        key = frozenset(current)
+        if key in history:
+            # The set sequence entered a cycle; the persistent envelope
+            # is the union of the cycle members.
+            cycle = trail[history[key]:]
+            current = set().union(*cycle)
+            break
+        history[key] = len(trail)
+        trail.append(key)
+        image: Set[Tuple[int, ...]] = set()
+        for state in current:
+            for vector in input_vectors:
+                image.add(_transition(circuit, state, vector))
+        current = image
+    return StateSpace(circuit_name=circuit.name, num_ffs=n,
+                      valid_states=frozenset(current))
+
+
+def reachable_from(circuit: Circuit, initial: Tuple[int, ...],
+                   max_ffs: int = 16) -> FrozenSet[Tuple[int, ...]]:
+    """Classic reachable set from one known initial state (BFS)."""
+    if circuit.num_ffs > max_ffs:
+        raise ValueError("too many FFs for explicit reachability")
+    input_vectors = list(product((0, 1), repeat=len(circuit.inputs)))
+    seen: Set[Tuple[int, ...]] = {initial}
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        for vector in input_vectors:
+            nxt = _transition(circuit, state, vector)
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def check_relations_exact(circuit: Circuit, relations,
+                          space: Optional[StateSpace] = None
+                          ) -> List[str]:
+    """Exact oracle: every FF-FF relation must hold on every valid state.
+
+    Returns violation descriptions (empty = all hold).  Only meaningful
+    for small circuits; the Monte-Carlo validator covers the rest.
+    """
+    if space is None:
+        space = analyze_state_space(circuit)
+    index_of = {fid: i for i, fid in enumerate(circuit.ffs)}
+    violations = []
+    for relation in relations:
+        if relation.a not in index_of or relation.b not in index_of:
+            continue
+        ia, ib = index_of[relation.a], index_of[relation.b]
+        for state in space.valid_states:
+            if state[ia] == relation.va and state[ib] != relation.vb:
+                na = circuit.nodes[relation.a].name
+                nb = circuit.nodes[relation.b].name
+                violations.append(
+                    f"state {state}: {na}={relation.va} but "
+                    f"{nb}={state[ib]} (relation wants {relation.vb})")
+                break
+    return violations

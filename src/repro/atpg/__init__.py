@@ -1,0 +1,22 @@
+"""Sequential ATPG with learned-implication enhancement."""
+
+from .driver import ATPGStats, compare_modes, run_atpg
+from .engine import MODES, SequentialATPG, TestResult
+from .faults import (
+    Fault,
+    collapse_faults,
+    fault_site_source,
+    full_fault_list,
+)
+from .fires import FiresReport, fires_untestable
+from .scoap import Testability, compute_testability
+from .untestable import UntestableComparison, compare_untestable
+
+__all__ = [
+    "ATPGStats", "compare_modes", "run_atpg",
+    "MODES", "SequentialATPG", "TestResult",
+    "Fault", "collapse_faults", "fault_site_source", "full_fault_list",
+    "FiresReport", "fires_untestable",
+    "Testability", "compute_testability",
+    "UntestableComparison", "compare_untestable",
+]

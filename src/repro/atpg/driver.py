@@ -1,0 +1,193 @@
+"""Full-circuit ATPG runs: fault ordering, dropping, statistics.
+
+This is the experiment harness behind the paper's Table 5: run test
+generation over the collapsed fault list with a given backtrack limit,
+with or without learned knowledge, and report detected / untestable /
+aborted counts plus CPU time.
+
+Flow per fault (HITEC-style):
+
+1. faults untestable by tie gates are marked untestable up front (the
+   learning by-product of section 3.2);
+2. PODEM-based sequential test generation (:class:`SequentialATPG`);
+3. on success the generated sequence is fault-simulated against all
+   remaining faults and every detected fault is dropped -- the paper's
+   section 5.2 discussion of "random effects" (faults found by
+   simulation that targeted ATPG would abort on) emerges from exactly
+   this mechanism.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..circuit.netlist import Circuit
+from ..core.engine import LearnResult
+from ..core.ties import untestable_faults_from_ties
+from ..sim.faultsim import FaultSimulator
+from .engine import SequentialATPG, TestResult
+from .faults import Fault, collapse_faults, collapse_with_classes
+
+
+@dataclass
+class ATPGStats:
+    """Aggregate results of one ATPG run (one Table-5 cell group)."""
+
+    circuit: str
+    mode: str
+    backtrack_limit: int
+    total_faults: int = 0
+    detected: int = 0
+    untestable: int = 0
+    aborted: int = 0
+    #: Faults detected by fault simulation of other faults' tests.
+    collateral: int = 0
+    decisions: int = 0
+    backtracks: int = 0
+    cpu_s: float = 0.0
+    sequences: List[List[Dict[str, int]]] = field(default_factory=list)
+
+    @property
+    def test_coverage(self) -> float:
+        """Detected / (total - untestable): the paper's test coverage."""
+        testable = self.total_faults - self.untestable
+        return self.detected / testable if testable else 1.0
+
+    @property
+    def fault_coverage(self) -> float:
+        return (self.detected / self.total_faults
+                if self.total_faults else 1.0)
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "mode": self.mode,
+            "backtrack_limit": self.backtrack_limit,
+            "total": self.total_faults,
+            "det": self.detected,
+            "untest": self.untestable,
+            "aborted": self.aborted,
+            "test_cov_%": round(100.0 * self.test_coverage, 2),
+            "cpu_s": round(self.cpu_s, 3),
+        }
+
+
+def run_atpg(circuit: Circuit, *,
+             learned: Optional[LearnResult] = None,
+             mode: str = "none",
+             backtrack_limit: int = 30,
+             max_frames: int = 10,
+             faults: Optional[Sequence[Fault]] = None,
+             fill_seed: int = 12345,
+             max_faults: Optional[int] = None) -> ATPGStats:
+    """Generate tests for every fault; returns aggregate statistics.
+
+    ``mode`` is 'none' (no sequential learning), 'known' or 'forbidden'
+    (the two Table-5 learning scenarios).  ``learned`` must be supplied
+    for the learning modes and is also used (in every mode it is present)
+    to pre-mark tie-gate untestable faults -- pass ``learned=None`` for
+    the paper's true no-learning baseline.
+    """
+    start = time.perf_counter()
+    classes = None
+    if faults is None:
+        faults, classes = collapse_with_classes(circuit)
+    faults = list(faults)
+    if max_faults is not None and len(faults) > max_faults:
+        rng = random.Random(fill_seed)
+        faults = rng.sample(faults, max_faults)
+        faults.sort(key=lambda f: (f.node, f.pin is not None, f.value))
+    stats = ATPGStats(circuit=circuit.name, mode=mode,
+                      backtrack_limit=backtrack_limit,
+                      total_faults=len(faults))
+    relations = learned.relations if learned is not None else None
+    atpg = SequentialATPG(circuit,
+                          relations=relations if mode != "none" else None,
+                          mode=mode, backtrack_limit=backtrack_limit,
+                          max_frames=max_frames)
+    simulator = FaultSimulator(circuit)
+    rng = random.Random(fill_seed)
+    input_names = [circuit.nodes[i].name for i in circuit.inputs]
+
+    status: Dict[int, str] = {}
+    if learned is not None:
+        index_of = {fault: i for i, fault in enumerate(faults)}
+        for fault in untestable_faults_from_ties(circuit, learned.ties,
+                                                 faults, classes):
+            status[index_of[fault]] = "untestable"
+    remaining: List[int] = [i for i in range(len(faults))
+                            if i not in status]
+    for index in list(remaining):
+        if status.get(index) is not None:
+            continue
+        result = atpg.generate(faults[index])
+        stats.decisions += result.decisions
+        stats.backtracks += result.backtracks
+        if result.status == "detected":
+            sequence = _fill_sequence(result.sequence, input_names, rng)
+            stats.sequences.append(sequence)
+            status[index] = "detected"
+            # Drop everything else this sequence detects.
+            open_indices = [i for i in remaining if status.get(i) is None]
+            if open_indices:
+                subset = [faults[i] for i in open_indices]
+                for local in simulator.detected(sequence, subset):
+                    hit = open_indices[local]
+                    if status.get(hit) is None:
+                        status[hit] = "detected"
+                        if hit != index:
+                            stats.collateral += 1
+        else:
+            status[index] = result.status
+    for verdict in status.values():
+        if verdict == "detected":
+            stats.detected += 1
+        elif verdict == "untestable":
+            stats.untestable += 1
+        else:
+            stats.aborted += 1
+    stats.aborted += len(faults) - len(status)
+    stats.cpu_s = time.perf_counter() - start
+    return stats
+
+
+def _fill_sequence(sequence: List[Dict[str, int]],
+                   input_names: List[str],
+                   rng: random.Random) -> List[Dict[str, int]]:
+    """Complete don't-care PI positions with random values.
+
+    Random fill maximises collateral detections during fault simulation,
+    matching production practice (and the paper's observation that some
+    faults are only ever caught by simulation of other faults' tests).
+    """
+    filled = []
+    for vector in sequence:
+        out = dict(vector)
+        for name in input_names:
+            out.setdefault(name, rng.randint(0, 1))
+        filled.append(out)
+    return filled
+
+
+def compare_modes(circuit: Circuit, learned: LearnResult, *,
+                  backtrack_limits: Sequence[int] = (30, 1000),
+                  max_frames: int = 10,
+                  max_faults: Optional[int] = None
+                  ) -> List[ATPGStats]:
+    """The full Table-5 protocol for one circuit.
+
+    Runs no-learning, forbidden-value and known-value ATPG at every
+    backtrack limit and returns the stats in table order.
+    """
+    rows = []
+    for limit in backtrack_limits:
+        for mode, use_learned in (("none", None), ("forbidden", learned),
+                                  ("known", learned)):
+            rows.append(run_atpg(
+                circuit, learned=use_learned, mode=mode,
+                backtrack_limit=limit, max_frames=max_frames,
+                max_faults=max_faults))
+    return rows

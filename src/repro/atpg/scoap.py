@@ -1,0 +1,120 @@
+"""SCOAP testability measures used to guide PODEM backtrace.
+
+Combinational controllabilities CC0/CC1 extended through sequential
+elements with a +1 frame penalty (a light version of SCOAP's sequential
+measures), plus observability CO.  Exact values do not matter -- they
+only rank alternative backtrace choices -- so the sequential feedback is
+resolved by bounded fixpoint iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+
+_BIG = 10 ** 6
+
+
+@dataclass
+class Testability:
+    """Per-node controllability/observability estimates."""
+
+    cc0: List[int]
+    cc1: List[int]
+    co: List[int]
+
+    def cc(self, nid: int, value: int) -> int:
+        return self.cc0[nid] if value == 0 else self.cc1[nid]
+
+
+def _gate_cc(gate_type: GateType, fanin_cc: List[Tuple[int, int]]
+             ) -> Tuple[int, int]:
+    """(cc0, cc1) of a gate from fanin (cc0, cc1) pairs."""
+    if gate_type is GateType.AND:
+        return (min(c0 for c0, _ in fanin_cc) + 1,
+                sum(c1 for _, c1 in fanin_cc) + 1)
+    if gate_type is GateType.NAND:
+        c0, c1 = _gate_cc(GateType.AND, fanin_cc)
+        return (c1, c0)
+    if gate_type is GateType.OR:
+        return (sum(c0 for c0, _ in fanin_cc) + 1,
+                min(c1 for _, c1 in fanin_cc) + 1)
+    if gate_type is GateType.NOR:
+        c0, c1 = _gate_cc(GateType.OR, fanin_cc)
+        return (c1, c0)
+    if gate_type is GateType.NOT:
+        c0, c1 = fanin_cc[0]
+        return (c1 + 1, c0 + 1)
+    if gate_type is GateType.BUF:
+        c0, c1 = fanin_cc[0]
+        return (c0 + 1, c1 + 1)
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        # Cheapest way to reach an even/odd number of 1s on the inputs.
+        best_even, best_odd = 0, _BIG
+        for c0, c1 in fanin_cc:
+            best_even, best_odd = (
+                min(best_even + c0, best_odd + c1),
+                min(best_even + c1, best_odd + c0))
+        if gate_type is GateType.XOR:
+            return (best_even + 1, best_odd + 1)
+        return (best_odd + 1, best_even + 1)
+    if gate_type is GateType.TIE0:
+        return (0, _BIG)
+    if gate_type is GateType.TIE1:
+        return (_BIG, 0)
+    raise AssertionError(gate_type)
+
+
+def compute_testability(circuit: Circuit, iterations: int = 4
+                        ) -> Testability:
+    """Compute CC0/CC1/CO with bounded sequential fixpoint iteration."""
+    n = len(circuit.nodes)
+    cc0 = [_BIG] * n
+    cc1 = [_BIG] * n
+    for pid in circuit.inputs:
+        cc0[pid] = cc1[pid] = 1
+    for _ in range(iterations):
+        for nid in circuit.topo_order:
+            node = circuit.nodes[nid]
+            fanin_cc = [(cc0[f], cc1[f]) for f in node.fanins]
+            c0, c1 = _gate_cc(node.gate_type, fanin_cc)
+            # Unknown (still-_BIG) inputs poison sums but not mins, so a
+            # sequential loop's controlling side resolves immediately and
+            # the rest converges over the iterations.
+            cc0[nid] = min(cc0[nid], c0, _BIG)
+            cc1[nid] = min(cc1[nid], c1, _BIG)
+        for fid in circuit.ffs:
+            data = circuit.nodes[fid].fanins[0]
+            cc0[fid] = min(cc0[fid], cc0[data] + 1)
+            cc1[fid] = min(cc1[fid], cc1[data] + 1)
+    co = [_BIG] * n
+    for oid in circuit.outputs:
+        co[oid] = 0
+    for _ in range(iterations):
+        for nid in reversed(circuit.topo_order):
+            node = circuit.nodes[nid]
+            if co[nid] >= _BIG:
+                continue
+            self_co = co[nid]
+            t = node.gate_type
+            for pin, src in enumerate(node.fanins):
+                side_cost = 0
+                if t in (GateType.AND, GateType.NAND):
+                    side_cost = sum(cc1[s] for i, s in enumerate(node.fanins)
+                                    if i != pin and cc1[s] < _BIG)
+                elif t in (GateType.OR, GateType.NOR):
+                    side_cost = sum(cc0[s] for i, s in enumerate(node.fanins)
+                                    if i != pin and cc0[s] < _BIG)
+                elif t in (GateType.XOR, GateType.XNOR):
+                    side_cost = sum(min(cc0[s], cc1[s])
+                                    for i, s in enumerate(node.fanins)
+                                    if i != pin)
+                co[src] = min(co[src], self_co + side_cost + 1)
+        for fid in circuit.ffs:
+            data = circuit.nodes[fid].fanins[0]
+            if co[fid] < _BIG:
+                co[data] = min(co[data], co[fid] + 1)
+    return Testability(cc0=cc0, cc1=cc1, co=co)

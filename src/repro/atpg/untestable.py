@@ -1,0 +1,63 @@
+"""Untestable-fault identification from learned tie gates (Table 4).
+
+The learning engine proves tie gates as a by-product (section 3.2); every
+stuck-at-v fault on a node tied to v is untestable.  This module packages
+that count next to the FIRES-style baseline for the Table 4 comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..circuit.netlist import Circuit
+from ..core.engine import LearnConfig, LearnResult, learn
+from ..core.ties import untestable_faults_from_ties
+from .faults import Fault, collapse_faults, collapse_with_classes
+from .fires import FiresReport, fires_untestable
+
+
+@dataclass
+class UntestableComparison:
+    """One row of the paper's Table 4."""
+
+    circuit: str
+    total_faults: int
+    tie_gate_untestable: int
+    fires_untestable: int
+    tie_cpu_s: float
+    fires_cpu_s: float
+
+    def row(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "total": self.total_faults,
+            "tie_gates": self.tie_gate_untestable,
+            "fires": self.fires_untestable,
+        }
+
+
+def compare_untestable(circuit: Circuit, *,
+                       learned: Optional[LearnResult] = None,
+                       faults: Optional[Sequence[Fault]] = None,
+                       max_frames: int = 20) -> UntestableComparison:
+    """Count untestable faults found via tie gates vs the FIRES baseline."""
+    classes = None
+    if faults is None:
+        faults, classes = collapse_with_classes(circuit)
+    t0 = time.perf_counter()
+    if learned is None:
+        learned = learn(circuit, LearnConfig(max_frames=max_frames))
+    tie_faults = untestable_faults_from_ties(circuit, learned.ties,
+                                             faults, classes)
+    tie_cpu = time.perf_counter() - t0
+    report: FiresReport = fires_untestable(circuit, faults,
+                                           max_frames=max_frames)
+    return UntestableComparison(
+        circuit=circuit.name,
+        total_faults=len(faults),
+        tie_gate_untestable=len(tie_faults),
+        fires_untestable=len(report.untestable),
+        tie_cpu_s=tie_cpu,
+        fires_cpu_s=report.cpu_s)

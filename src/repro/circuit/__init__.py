@@ -1,0 +1,34 @@
+"""Gate-level sequential circuit substrate."""
+
+from .gates import GateType, ZERO, ONE, X, inv, eval_gate
+from .netlist import Circuit, CircuitError, Node
+from .builder import CircuitBuilder
+from .bench import parse_bench, load_bench, write_bench, bench_text
+from .library import (
+    BUILTIN,
+    builtin_names,
+    counter,
+    equivalence_demo,
+    figure1,
+    figure2,
+    get_builtin,
+    one_hot_ring,
+    s27,
+)
+from .generator import (
+    PAPER_PROFILES,
+    industrial_like,
+    iscas_like,
+    random_circuit,
+)
+from .retime import retimable_ffs, retime_backward, retime_circuit
+
+__all__ = [
+    "GateType", "ZERO", "ONE", "X", "inv", "eval_gate",
+    "Circuit", "CircuitError", "Node", "CircuitBuilder",
+    "parse_bench", "load_bench", "write_bench", "bench_text",
+    "BUILTIN", "builtin_names", "counter", "equivalence_demo",
+    "figure1", "figure2", "get_builtin", "one_hot_ring", "s27",
+    "PAPER_PROFILES", "industrial_like", "iscas_like", "random_circuit",
+    "retimable_ffs", "retime_backward", "retime_circuit",
+]

@@ -1,0 +1,140 @@
+"""ISCAS-89 ``.bench`` reader and writer.
+
+The classic format::
+
+    # comment
+    INPUT(I1)
+    OUTPUT(G17)
+    F1 = DFF(G10)
+    G10 = NAND(I1, F1)
+
+Extensions (all optional, written as structured comments so files stay
+readable by other tools): sequential-element attributes for the paper's
+real-circuit features::
+
+    # @ff F1 clock=clkB phase=1 set=unconstrained reset=none ports=2
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, TextIO, Union
+
+from .builder import CircuitBuilder
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[^=\s]+)\s*=\s*(?P<type>[A-Za-z0-9_]+)\s*"
+    r"\(\s*(?P<args>[^)]*)\)\s*$")
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)\s*$",
+                    re.IGNORECASE)
+_FF_ATTR_RE = re.compile(r"^#\s*@ff\s+(?P<name>\S+)\s+(?P<attrs>.*)$")
+
+_SEQ_TYPES = {"dff": GateType.DFF, "latch": GateType.LATCH}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source text into a frozen :class:`Circuit`."""
+    builder = CircuitBuilder(name)
+    ff_attrs: Dict[str, dict] = {}
+    outputs: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = _FF_ATTR_RE.match(line)
+            if m:
+                ff_attrs[m.group("name")] = _parse_ff_attrs(m.group("attrs"))
+            continue
+        m = _IO_RE.match(line)
+        if m:
+            kind, signal = m.group(1).upper(), m.group(2)
+            if kind == "INPUT":
+                builder.inputs(signal)
+            else:
+                outputs.append(signal)
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise CircuitError(f"unparsable bench line: {raw!r}")
+        out = m.group("out")
+        type_token = m.group("type").lower()
+        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        if type_token in _SEQ_TYPES:
+            if len(args) != 1:
+                raise CircuitError(
+                    f"{type_token.upper()} {out} needs one data argument")
+            attrs = dict(ff_attrs.get(out, {}))
+            attrs["gate_type"] = _SEQ_TYPES[type_token]
+            builder.dff(out, args[0], **attrs)
+        else:
+            builder.gate(out, type_token, *args)
+    builder.output(*outputs)
+    return builder.build()
+
+
+def _parse_ff_attrs(text: str) -> dict:
+    attrs: dict = {}
+    for token in text.split():
+        if "=" not in token:
+            raise CircuitError(f"bad @ff attribute token {token!r}")
+        key, value = token.split("=", 1)
+        if key == "clock":
+            attrs["clock"] = value
+        elif key == "phase":
+            attrs["phase"] = int(value)
+        elif key == "set":
+            attrs["set_kind"] = value
+        elif key == "reset":
+            attrs["reset_kind"] = value
+        elif key == "ports":
+            attrs["num_ports"] = int(value)
+        else:
+            raise CircuitError(f"unknown @ff attribute {key!r}")
+    return attrs
+
+
+def load_bench(path) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    with open(path) as handle:
+        return parse_bench(handle.read(), name=str(path))
+
+
+def write_bench(circuit: Circuit, stream_or_path: Union[str, TextIO]) -> None:
+    """Serialize a circuit to ``.bench`` (with @ff attribute comments)."""
+    if isinstance(stream_or_path, str):
+        with open(stream_or_path, "w") as handle:
+            write_bench(circuit, handle)
+        return
+    out = stream_or_path
+    out.write(f"# {circuit.name}\n")
+    for nid in circuit.inputs:
+        out.write(f"INPUT({circuit.nodes[nid].name})\n")
+    for nid in circuit.outputs:
+        out.write(f"OUTPUT({circuit.nodes[nid].name})\n")
+    for nid in circuit.ffs:
+        node = circuit.nodes[nid]
+        if (node.clock, node.phase, node.set_kind, node.reset_kind,
+                node.num_ports) != ("clk", 0, "none", "none", 1):
+            out.write(
+                f"# @ff {node.name} clock={node.clock} phase={node.phase} "
+                f"set={node.set_kind} reset={node.reset_kind} "
+                f"ports={node.num_ports}\n")
+        data = circuit.nodes[node.fanins[0]].name
+        out.write(f"{node.name} = {node.gate_type.value.upper()}({data})\n")
+    for nid in circuit.topo_order:
+        node = circuit.nodes[nid]
+        fanin_names = ", ".join(circuit.nodes[f].name for f in node.fanins)
+        out.write(
+            f"{node.name} = {node.gate_type.value.upper()}({fanin_names})\n")
+
+
+def bench_text(circuit: Circuit) -> str:
+    """Return the ``.bench`` serialization as a string."""
+    import io
+
+    buf = io.StringIO()
+    write_bench(circuit, buf)
+    return buf.getvalue()

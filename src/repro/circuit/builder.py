@@ -1,0 +1,138 @@
+"""Fluent, name-based construction API for circuits.
+
+:class:`CircuitBuilder` lets callers wire gates by signal name in any order
+(forward references are fine, which matters for sequential feedback loops)
+and resolves everything when :meth:`build` is called.
+
+Example
+-------
+>>> b = CircuitBuilder("toy")
+>>> b.inputs("a", "b")
+>>> b.gate("g1", "and", "a", "b")
+>>> b.dff("f1", "g1")
+>>> b.gate("g2", "or", "f1", "a")
+>>> b.output("g2")
+>>> circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+_TYPE_ALIASES = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "not": GateType.NOT,
+    "inv": GateType.NOT,
+    "buf": GateType.BUF,
+    "buff": GateType.BUF,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "tie0": GateType.TIE0,
+    "tie1": GateType.TIE1,
+}
+
+
+def parse_gate_type(token) -> GateType:
+    """Map a string alias (or GateType) to a :class:`GateType`."""
+    if isinstance(token, GateType):
+        return token
+    try:
+        return _TYPE_ALIASES[token.lower()]
+    except KeyError:
+        raise CircuitError(f"unknown gate type {token!r}") from None
+
+
+class CircuitBuilder:
+    """Accumulates named gates and resolves connectivity at build time."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._inputs: List[str] = []
+        self._gates: List[Tuple[str, GateType, Tuple[str, ...]]] = []
+        self._ffs: List[Tuple[str, str, dict]] = []
+        self._outputs: List[str] = []
+        self._names = set()
+
+    def _claim(self, name: str) -> None:
+        if name in self._names:
+            raise CircuitError(f"duplicate signal name {name!r}")
+        self._names.add(name)
+
+    def inputs(self, *names: str) -> "CircuitBuilder":
+        for name in names:
+            self._claim(name)
+            self._inputs.append(name)
+        return self
+
+    def gate(self, name: str, gate_type, *fanins: str) -> "CircuitBuilder":
+        self._claim(name)
+        self._gates.append((name, parse_gate_type(gate_type), fanins))
+        return self
+
+    def dff(self, name: str, data: str, **seq_attrs) -> "CircuitBuilder":
+        """Add a D flip-flop; ``seq_attrs`` forwards clock/phase/set/reset."""
+        self._claim(name)
+        seq_attrs.setdefault("gate_type", GateType.DFF)
+        self._ffs.append((name, data, seq_attrs))
+        return self
+
+    def latch(self, name: str, data: str, **seq_attrs) -> "CircuitBuilder":
+        """Add a transparent latch (classified separately from DFFs)."""
+        self._claim(name)
+        seq_attrs.setdefault("gate_type", GateType.LATCH)
+        self._ffs.append((name, data, seq_attrs))
+        return self
+
+    def output(self, *names: str) -> "CircuitBuilder":
+        self._outputs.extend(names)
+        return self
+
+    def build(self) -> Circuit:
+        """Resolve all names and return a frozen :class:`Circuit`."""
+        circuit = Circuit(self.name)
+        ids: Dict[str, int] = {}
+        for name in self._inputs:
+            ids[name] = circuit.add_input(name)
+        # Declare FFs before gates so gates may reference FF outputs, then
+        # declare gates, then late-bind FF data inputs (feedback loops).
+        for name, _data, attrs in self._ffs:
+            ids[name] = circuit.add_ff(name, None, **attrs)
+        pending = list(self._gates)
+        while pending:
+            progressed = False
+            remaining = []
+            for name, gate_type, fanins in pending:
+                if all(f in ids for f in fanins):
+                    ids[name] = circuit.add_gate(
+                        name, gate_type, [ids[f] for f in fanins])
+                    progressed = True
+                else:
+                    remaining.append((name, gate_type, fanins))
+            if not progressed:
+                missing = sorted(
+                    {f for _n, _t, fis in remaining for f in fis
+                     if f not in ids and
+                     f not in {n for n, _t2, _f2 in remaining}})
+                if missing:
+                    raise CircuitError(f"undefined signals: {missing}")
+                # Only combinational forward references remain; declare them
+                # in written order (freeze() will reject true cycles).
+                for name, gate_type, fanins in remaining:
+                    raise CircuitError(
+                        f"combinational cycle through gate {name!r}")
+            pending = remaining
+        for name, data, _attrs in self._ffs:
+            if data not in ids:
+                raise CircuitError(f"FF {name!r} data {data!r} undefined")
+            circuit.set_data(ids[name], ids[data])
+        for name in self._outputs:
+            if name not in ids:
+                raise CircuitError(f"output {name!r} undefined")
+            circuit.mark_output(ids[name])
+        return circuit.freeze()

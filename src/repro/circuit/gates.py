@@ -1,0 +1,156 @@
+"""Gate primitives and three-valued evaluation tables.
+
+Logic values are encoded as small integers:
+
+* ``ZERO`` (0), ``ONE`` (1) -- known Boolean values.
+* ``X`` (2) -- the unknown value of three-valued simulation.
+
+Gate types cover the ISCAS-89 cell library plus the sequential elements the
+paper needs (D flip-flops, transparent latches, multi-port latches) and the
+constant cells ``TIE0``/``TIE1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+ZERO = 0
+ONE = 1
+X = 2
+
+VALUE_NAMES = {ZERO: "0", ONE: "1", X: "X"}
+
+
+def value_name(value: int) -> str:
+    """Printable form of a three-valued logic value."""
+    return VALUE_NAMES[value]
+
+
+def inv(value: int) -> int:
+    """Three-valued NOT."""
+    if value == X:
+        return X
+    return 1 - value
+
+
+class GateType(enum.Enum):
+    """Every cell kind understood by the netlist."""
+
+    INPUT = "input"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    NOT = "not"
+    BUF = "buf"
+    XOR = "xor"
+    XNOR = "xnor"
+    TIE0 = "tie0"
+    TIE1 = "tie1"
+    DFF = "dff"
+    LATCH = "latch"
+
+
+COMBINATIONAL_TYPES = frozenset(
+    {
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.NOT,
+        GateType.BUF,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.TIE0,
+        GateType.TIE1,
+    }
+)
+
+SEQUENTIAL_TYPES = frozenset({GateType.DFF, GateType.LATCH})
+
+#: Controlling input value per gate type (None when the gate has no
+#: controlling value, e.g. XOR).
+CONTROLLING_VALUE = {
+    GateType.AND: ZERO,
+    GateType.NAND: ZERO,
+    GateType.OR: ONE,
+    GateType.NOR: ONE,
+}
+
+#: Output produced when a controlling value is present on some input.
+CONTROLLED_RESPONSE = {
+    GateType.AND: ZERO,
+    GateType.NAND: ONE,
+    GateType.OR: ONE,
+    GateType.NOR: ZERO,
+}
+
+#: True when the gate inverts the "natural" (AND/OR) response.
+INVERTING = {
+    GateType.AND: False,
+    GateType.NAND: True,
+    GateType.OR: False,
+    GateType.NOR: True,
+    GateType.NOT: True,
+    GateType.BUF: False,
+    GateType.XOR: False,
+    GateType.XNOR: True,
+}
+
+
+def eval_gate(gate_type: GateType, values: Sequence[int]) -> int:
+    """Evaluate a combinational gate under three-valued logic.
+
+    ``values`` are the fanin values in fanin order.  Sequential gates must not
+    be evaluated here; the simulator handles their frame semantics.
+    """
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        out = ONE
+        for v in values:
+            if v == ZERO:
+                out = ZERO
+                break
+            if v == X:
+                out = X
+        return inv(out) if gate_type is GateType.NAND else out
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        out = ZERO
+        for v in values:
+            if v == ONE:
+                out = ONE
+                break
+            if v == X:
+                out = X
+        return inv(out) if gate_type is GateType.NOR else out
+    if gate_type is GateType.NOT:
+        return inv(values[0])
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        out = ZERO
+        for v in values:
+            if v == X:
+                return X
+            out ^= v
+        return inv(out) if gate_type is GateType.XNOR else out
+    if gate_type is GateType.TIE0:
+        return ZERO
+    if gate_type is GateType.TIE1:
+        return ONE
+    raise ValueError(f"cannot evaluate gate type {gate_type!r} combinationally")
+
+
+def gate_function_table(gate_type: GateType, num_inputs: int):
+    """Full truth table of a gate over {0,1} inputs.
+
+    Returns a list indexed by the input minterm (fanin 0 is the least
+    significant bit).  Used by the equivalence checker for exact
+    verification.
+    """
+    size = 1 << num_inputs
+    table = []
+    for minterm in range(size):
+        values = [(minterm >> i) & 1 for i in range(num_inputs)]
+        table.append(eval_gate(gate_type, values))
+    return table

@@ -1,0 +1,193 @@
+"""Synthetic sequential circuit generation.
+
+The paper evaluates on ISCAS-89/93 netlists, retimed circuits and three
+industrial designs; none are redistributable here, so this module builds
+random circuits with matched structural statistics (FF count, gate count,
+fanin/fanout distribution, sequential feedback, reconvergence).  The
+learning and ATPG code paths depend only on structure, so these circuits
+reproduce the *shape* of the paper's tables (see DESIGN.md section 4).
+
+``iscas_like(name)`` returns a circuit with the same FF/gate counts as the
+published benchmark of that name.  ``industrial_like`` adds the section 3.3
+real-circuit features: several clock domains, partial set/reset and
+multi-port latches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .builder import CircuitBuilder
+from .netlist import Circuit
+
+#: (inputs, outputs, ffs, gates) of the paper's Table 3 circuits.
+PAPER_PROFILES: Dict[str, Tuple[int, int, int, int]] = {
+    "s382": (3, 6, 21, 158),
+    "s386": (7, 7, 6, 159),
+    "s400": (3, 6, 21, 164),
+    "s444": (3, 6, 21, 181),
+    "s641": (35, 24, 19, 377),
+    "s713": (35, 23, 19, 393),
+    "s953": (16, 23, 29, 424),
+    "s967": (16, 23, 29, 395),
+    "s1196": (14, 14, 18, 529),
+    "s1238": (14, 14, 18, 508),
+    "s1269": (18, 10, 37, 569),
+    "s1423": (17, 5, 74, 657),
+    "s3330": (40, 73, 132, 1789),
+    "s3384": (43, 26, 183, 1685),
+    "s4863": (49, 16, 104, 2342),
+    "s5378": (35, 49, 179, 2779),
+    "s6669": (83, 55, 239, 3080),
+    "s9234": (36, 39, 228, 5597),
+    "s13207": (62, 152, 638, 7951),
+    "s15850": (77, 150, 597, 9772),
+    "s38417": (28, 106, 1636, 22179),
+    "s38584": (38, 304, 1452, 19253),
+}
+
+_GATE_TYPES = ("and", "nand", "or", "nor", "and", "or", "nand", "nor",
+               "not", "buf", "xor", "xnor")
+
+
+def random_circuit(name: str, *, n_inputs: int, n_outputs: int,
+                   n_ffs: int, n_gates: int, seed: int = 0,
+                   fanin_max: int = 3, depth: int = 8,
+                   feedback_fraction: float = 0.6) -> Circuit:
+    """Generate a random sequential circuit with realistic structure.
+
+    Construction is levelized like synthesized netlists: level 0 holds
+    PIs and FF outputs, each gate at level l draws most fanins from level
+    l-1 (with occasional long edges for reconvergence), and the logic
+    stays shallow (``depth`` levels).  FF data inputs come from the upper
+    levels, a ``feedback_fraction`` of them from cones that contain their
+    own FF class (sequential feedback); outputs are drawn from the top
+    levels so most logic is observable.  Fanins are always distinct --
+    duplicated fanins (XOR(x,x), AND(x,x)) degenerate into tied or
+    transparent logic that floods learning statistics.
+    """
+    rng = random.Random(seed)
+    b = CircuitBuilder(name)
+    pi_names = [f"I{i}" for i in range(n_inputs)]
+    b.inputs(*pi_names)
+    ff_names = [f"F{i}" for i in range(n_ffs)]
+    levels: List[List[str]] = [list(pi_names) + list(ff_names)]
+    gate_names: List[str] = []
+    per_level = max(1, n_gates // depth)
+    gate_index = 0
+    while gate_index < n_gates:
+        level_gates: List[str] = []
+        target = min(per_level, n_gates - gate_index)
+        for _ in range(target):
+            gtype = rng.choice(_GATE_TYPES)
+            arity = 1 if gtype in ("not", "buf") else rng.randint(
+                2, fanin_max)
+            pool = list(levels[-1])
+            # Long edges create the reconvergent fanout real designs have.
+            extra_src = [s for lvl in levels[:-1] for s in lvl]
+            fanins: List[str] = []
+            while len(fanins) < arity and (pool or extra_src):
+                if extra_src and (not pool or rng.random() < 0.25):
+                    pick = extra_src.pop(rng.randrange(len(extra_src)))
+                else:
+                    pick = pool.pop(rng.randrange(len(pool)))
+                if pick not in fanins:
+                    fanins.append(pick)
+            if len(fanins) < arity:
+                gtype = "not" if not fanins else gtype
+                if not fanins:
+                    fanins = [rng.choice(levels[0])]
+            gname = f"G{gate_index}"
+            b.gate(gname, gtype, *fanins)
+            gate_names.append(gname)
+            level_gates.append(gname)
+            gate_index += 1
+        levels.append(level_gates)
+    if not gate_names:
+        raise ValueError("n_gates must be positive")
+    upper = [g for lvl in levels[max(1, len(levels) - 3):] for g in lvl]
+    for i, ff in enumerate(ff_names):
+        if rng.random() < feedback_fraction or not gate_names:
+            data = rng.choice(upper)
+        else:
+            data = rng.choice(gate_names)
+        b.dff(ff, data)
+    outputs: List[str] = []
+    pool = list(upper)
+    rng.shuffle(pool)
+    for gname in pool:
+        if len(outputs) >= n_outputs:
+            break
+        outputs.append(gname)
+    for gname in gate_names:
+        if len(outputs) >= n_outputs:
+            break
+        if gname not in outputs:
+            outputs.append(gname)
+    b.output(*outputs)
+    return b.build()
+
+
+def iscas_like(paper_name: str, *, seed: Optional[int] = None,
+               scale: float = 1.0) -> Circuit:
+    """A random circuit matching a published benchmark's FF/gate counts.
+
+    ``scale`` < 1 shrinks the circuit proportionally (used by the ATPG
+    benches so pure-Python runs stay tractable; the learning benches run
+    at full published size).
+    """
+    if paper_name not in PAPER_PROFILES:
+        raise KeyError(f"no profile for {paper_name!r}; "
+                       f"known: {sorted(PAPER_PROFILES)}")
+    n_in, n_out, n_ff, n_gate = PAPER_PROFILES[paper_name]
+    if seed is None:
+        seed = sum(ord(c) for c in paper_name)
+    shrink = max(scale, 4.0 / max(n_gate, 4))
+    return random_circuit(
+        f"{paper_name}_like" + ("" if scale == 1.0 else f"@{scale:g}"),
+        n_inputs=max(2, round(n_in * min(1.0, shrink * 2))),
+        n_outputs=max(1, round(n_out * shrink)),
+        n_ffs=max(2, round(n_ff * shrink)),
+        n_gates=max(4, round(n_gate * shrink)),
+        seed=seed)
+
+
+def industrial_like(name: str = "indust", *, n_domains: int = 3,
+                    n_ffs: int = 60, n_gates: int = 400,
+                    seed: int = 7) -> Circuit:
+    """Random circuit with the paper's section 3.3 real-circuit features.
+
+    FFs are spread over ``n_domains`` clock domains (including a gated
+    clock and an opposite-phase group), a slice gets partial set or reset
+    lines, one FF gets both unconstrained set and reset, and a couple of
+    multi-port latches are inserted.  Learning must classify and restrict
+    propagation accordingly.
+    """
+    rng = random.Random(seed)
+    base = random_circuit(name, n_inputs=max(4, n_ffs // 8),
+                          n_outputs=max(2, n_ffs // 10), n_ffs=n_ffs,
+                          n_gates=n_gates, seed=seed)
+    clocks = [f"clk{d}" for d in range(n_domains)]
+    clocks.append("clk0_gated")
+    for i, fid in enumerate(base.ffs):
+        node = base.nodes[fid]
+        node.clock = clocks[i % len(clocks)]
+        node.phase = 1 if (i % 7 == 0) else 0
+        roll = rng.random()
+        if roll < 0.10:
+            node.set_kind = "unconstrained"
+        elif roll < 0.20:
+            node.reset_kind = "unconstrained"
+        elif roll < 0.25:
+            node.set_kind = "constrained"
+        if i == 0:
+            node.set_kind = "unconstrained"
+            node.reset_kind = "unconstrained"
+        if i in (1, 2):
+            from .gates import GateType
+
+            node.gate_type = GateType.LATCH
+            if i == 1:
+                node.num_ports = 2
+    return base

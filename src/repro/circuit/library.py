@@ -1,0 +1,204 @@
+"""Built-in circuits.
+
+``figure1()`` and ``figure2()`` are reconstructions of the paper's worked
+examples.  The schematics are only available as prose plus Table 1, so the
+netlists were reverse-engineered to reproduce every narrated behaviour (see
+DESIGN.md section 3 for the constraint-by-constraint derivation and the
+known additive deviations):
+
+* ``figure1``: G3 combinationally tied to 0 via stem I1; stem I2=1 sustains
+  F3=1 through the G11/F3 self-loop; single-node relations
+  F6=1->{F1=1,F2=1,F3=1,F4=0}; multiple-node relations
+  F3=0->{F1=0,F2=0,F4=1,F5=0,F6=0}; G15 proven sequentially tied to 0 by a
+  conflict during multiple-node learning.
+* ``figure2``: the relation G9=0 -> F2=0 which backward/forward learning
+  cannot extract, plus the decision-node discussion (justifying G6=0 has the
+  solutions F1=0 / F2=0, justifying G7=0 has F2=0 / F3=0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .builder import CircuitBuilder
+from .netlist import Circuit
+
+
+def figure1() -> Circuit:
+    """The paper's Figure 1 learning example (reconstructed)."""
+    b = CircuitBuilder("figure1")
+    b.inputs("I1", "I2", "I3", "I4", "I5")
+    # Tied logic reachable from stem I1.
+    b.gate("G3", "xor", "I1", "I1")          # combinationally tied to 0
+    b.gate("G8", "and", "F2", "G3")          # tied to 0 once G3 is known
+    # Reconvergent AND structure around F1/F2.
+    b.gate("G4", "and", "F1", "F2")
+    b.gate("G7", "and", "I2", "I3")
+    b.gate("G1", "or", "G4", "G7")
+    b.gate("G2", "and", "F1", "G1")          # F2=0 does not set G2 under 3V
+    # Next-state logic.
+    b.gate("G9", "or", "I2", "G2")           # D(F1)
+    b.gate("G10", "or", "I2", "G8")          # D(F2)
+    b.gate("G11", "or", "G10", "F3")         # D(F3): self-sustaining loop
+    b.gate("G5", "or", "F3", "F5")
+    b.gate("G6", "nor", "I2", "G5")          # D(F4)
+    b.gate("G12", "and", "F6", "I4")         # D(F5)
+    b.gate("G13", "and", "G7", "F4", "I5")   # D(F6)
+    # Output logic proving the sequential tie on G15.
+    b.gate("G14", "nor", "F1", "F2")
+    b.gate("G15", "nor", "F3", "G14")        # sequentially tied to 0
+    b.dff("F1", "G9")
+    b.dff("F2", "G10")
+    b.dff("F3", "G11")
+    b.dff("F4", "G6")
+    b.dff("F5", "G12")
+    b.dff("F6", "G13")
+    b.output("G15", "G2", "G6", "G12", "G13")
+    return b.build()
+
+
+def figure2() -> Circuit:
+    """The paper's Figure 2 example (reconstructed).
+
+    Both I2=0 and I3=0 at T=0 imply G9=1 at T=1, so G9=0 at T=1 implies
+    I2=1 and I3=1 at T=0, which forces F2=0 at T=1: the same-frame relation
+    G9=0 -> F2=0, unreachable by injecting values on G9 and implying
+    backward/forward.
+    """
+    b = CircuitBuilder("figure2")
+    b.inputs("I1", "I2", "I3", "I4", "I5", "I6")
+    b.gate("G1", "not", "I2")                # D(F1)
+    b.gate("G2", "nand", "I2", "I3")         # D(F2)
+    b.gate("G3", "not", "I3")                # D(F3)
+    b.gate("G6", "and", "F1", "F2")
+    b.gate("G7", "and", "F2", "F3")
+    b.gate("G9", "or", "G6", "G7")
+    b.gate("G4", "and", "I1", "I4")
+    b.gate("G5", "or", "G4", "F4")
+    b.gate("G8", "and", "G5", "I5", "I6")    # D(F4)
+    b.dff("F1", "G1")
+    b.dff("F2", "G2")
+    b.dff("F3", "G3")
+    b.dff("F4", "G8")
+    b.dff("F5", "G9")
+    b.output("G9", "F5", "G8")
+    return b.build()
+
+
+def equivalence_demo() -> Circuit:
+    """Combinationally equivalent gates invisible to 3-valued simulation.
+
+    ``GEQ = OR(AND(F1,I1), AND(F1,NOT I1), F2)`` computes OR(F1, F2) --
+    the same function as the plain ``GAND`` -- but injecting F1=1 leaves
+    GEQ at X (both AND terms stay unknown through the reconvergent I1)
+    while GAND goes to 1.  Gate-equivalence learning couples the two,
+    which unlocks the invalid-state relation F4=0 -> F2=1: F4=0 means
+    F1 was 1 a cycle ago, so GEQ was 1 and F2 captured it.
+    """
+    b = CircuitBuilder("equivalence_demo")
+    b.inputs("I1", "I2")
+    b.gate("GAND", "or", "F1", "F2")
+    b.gate("NI1", "not", "I1")
+    b.gate("A1", "and", "F1", "I1")
+    b.gate("A2", "and", "F1", "NI1")
+    b.gate("GEQ", "or", "A1", "A2", "F2")    # == GAND, hidden from 3V sim
+    b.gate("NF", "not", "F1")
+    b.gate("B1", "buf", "I2")
+    b.dff("F1", "B1")
+    b.dff("F2", "GEQ")
+    b.dff("F4", "NF")
+    b.output("GEQ", "GAND", "F4")
+    return b.build()
+
+
+def s27() -> Circuit:
+    """ISCAS-89 s27 (the one genuine benchmark small enough to inline)."""
+    b = CircuitBuilder("s27")
+    b.inputs("G0", "G1", "G2", "G3")
+    b.gate("G14", "not", "G0")
+    b.gate("G17", "not", "G11")
+    b.gate("G8", "and", "G14", "G6")
+    b.gate("G15", "or", "G12", "G8")
+    b.gate("G16", "or", "G3", "G8")
+    b.gate("G9", "nand", "G16", "G15")
+    b.gate("G10", "nor", "G14", "G11")
+    b.gate("G11", "nor", "G5", "G9")
+    b.gate("G12", "nor", "G1", "G7")
+    b.gate("G13", "nor", "G2", "G12")
+    b.dff("G5", "G10")
+    b.dff("G6", "G11")
+    b.dff("G7", "G13")
+    b.output("G17")
+    return b.build()
+
+
+def counter(bits: int = 3) -> Circuit:
+    """A ``bits``-wide binary counter with enable -- dense encoding.
+
+    Every state is reachable, so learning finds no invalid-state
+    relations; a useful negative control in tests.
+    """
+    b = CircuitBuilder(f"counter{bits}")
+    b.inputs("EN")
+    carry = "EN"
+    for i in range(bits):
+        q = f"Q{i}"
+        b.gate(f"X{i}", "xor", q, carry)
+        b.dff(q, f"X{i}")
+        if i + 1 < bits:
+            b.gate(f"C{i}", "and", q, carry)
+            carry = f"C{i}"
+    b.gate("OUT", "and", *[f"Q{i}" for i in range(bits)])
+    b.output("OUT")
+    return b.build()
+
+
+def one_hot_ring(stages: int = 4) -> Circuit:
+    """A ring of FFs shifting circularly.
+
+    Shifting permutes the state space, so every state persists (density
+    of encoding 1.0) -- but the guarded injection logic still gives the
+    learning engine gate-FF relations to find.  figure1() and retimed
+    circuits are the low-density workloads.
+    """
+    b = CircuitBuilder(f"ring{stages}")
+    b.inputs("SEED")
+    others = [f"R{j}" for j in range(1, stages)]
+    b.gate("EMPTY", "nor", *others, "R0")
+    b.gate("INJ", "and", "SEED", "EMPTY")
+    b.gate("D0", "or", "INJ", f"R{stages - 1}")
+    prev = "D0"
+    b.dff("R0", "D0")
+    for i in range(1, stages):
+        b.gate(f"D{i}", "buf", f"R{i - 1}")
+        b.dff(f"R{i}", f"D{i}")
+        prev = f"D{i}"
+    b.gate("OUT", "or", "R0", f"R{stages - 1}")
+    b.output("OUT")
+    return b.build()
+
+
+#: Registry of built-in circuits by name.
+BUILTIN: Dict[str, Callable[[], Circuit]] = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "equivalence_demo": equivalence_demo,
+    "s27": s27,
+    "counter3": lambda: counter(3),
+    "ring4": lambda: one_hot_ring(4),
+}
+
+
+def builtin_names() -> List[str]:
+    return sorted(BUILTIN)
+
+
+def get_builtin(name: str) -> Circuit:
+    """Instantiate a built-in circuit by name."""
+    try:
+        factory = BUILTIN[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown builtin circuit {name!r}; "
+            f"choose from {builtin_names()}") from None
+    return factory()

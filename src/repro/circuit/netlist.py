@@ -1,0 +1,327 @@
+"""Gate-level sequential netlist.
+
+A :class:`Circuit` is a directed graph of :class:`Node` objects.  Sequential
+elements (D flip-flops and latches) break combinational cycles: their output
+is a pseudo primary input of each time frame and their data input (fanin 0)
+is sampled at the end of the frame to produce the next-frame value.
+
+Real-circuit features from the paper's section 3.3 are first-class node
+attributes:
+
+* ``clock`` / ``phase`` -- clock domain classification key,
+* ``set_kind`` / ``reset_kind`` -- ``none`` / ``constrained`` /
+  ``unconstrained`` asynchronous set/reset lines,
+* ``num_ports`` -- multi-port latches (no learning propagation across them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .gates import (
+    COMBINATIONAL_TYPES,
+    SEQUENTIAL_TYPES,
+    GateType,
+)
+
+#: Allowed values for the ``set_kind`` / ``reset_kind`` node attributes.
+SET_RESET_KINDS = ("none", "constrained", "unconstrained")
+
+
+class CircuitError(Exception):
+    """Raised for malformed circuit construction or queries."""
+
+
+@dataclass
+class Node:
+    """One primary input, gate or sequential element."""
+
+    nid: int
+    name: str
+    gate_type: GateType
+    fanins: List[int] = field(default_factory=list)
+    fanouts: List[int] = field(default_factory=list)
+    is_output: bool = False
+    # Sequential-element attributes (meaningful for DFF/LATCH only).
+    clock: str = "clk"
+    phase: int = 0
+    set_kind: str = "none"
+    reset_kind: str = "none"
+    num_ports: int = 1
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.gate_type in SEQUENTIAL_TYPES
+
+    @property
+    def is_input(self) -> bool:
+        return self.gate_type is GateType.INPUT
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.gate_type in COMBINATIONAL_TYPES
+
+    def domain_key(self) -> Tuple[str, int, str]:
+        """Clock-domain classification key per paper section 3.3.2.
+
+        Latches and flip-flops land in different classes even on the same
+        clock and phase, because their capture times differ.
+        """
+        return (self.clock, self.phase, self.gate_type.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.nid}, {self.name!r}, {self.gate_type.value})"
+
+
+class Circuit:
+    """A sequential gate-level circuit.
+
+    Build with :class:`repro.circuit.builder.CircuitBuilder` or the
+    ``add_*`` methods below, then call :meth:`freeze` before handing the
+    circuit to a simulator.  ``freeze`` computes fanouts, levelization and
+    the combinational topological order, and validates structure.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.nodes: List[Node] = []
+        self._by_name: Dict[str, int] = {}
+        self.inputs: List[int] = []
+        self.outputs: List[int] = []
+        self.ffs: List[int] = []
+        self.topo_order: List[int] = []
+        self.level: List[int] = []
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new_node(self, name: str, gate_type: GateType) -> Node:
+        if self._frozen:
+            raise CircuitError("circuit is frozen; no further construction")
+        if name in self._by_name:
+            raise CircuitError(f"duplicate node name {name!r}")
+        node = Node(nid=len(self.nodes), name=name, gate_type=gate_type)
+        self.nodes.append(node)
+        self._by_name[name] = node.nid
+        return node
+
+    def add_input(self, name: str) -> int:
+        """Add a primary input and return its node id."""
+        node = self._new_node(name, GateType.INPUT)
+        self.inputs.append(node.nid)
+        return node.nid
+
+    def add_gate(self, name: str, gate_type: GateType,
+                 fanins: Iterable[int] = ()) -> int:
+        """Add a combinational gate and return its node id."""
+        if gate_type not in COMBINATIONAL_TYPES:
+            raise CircuitError(
+                f"{gate_type!r} is not a combinational gate type")
+        node = self._new_node(name, gate_type)
+        node.fanins = list(fanins)
+        self._check_fanin_arity(node)
+        return node.nid
+
+    def add_ff(self, name: str, data: Optional[int] = None, *,
+               gate_type: GateType = GateType.DFF, clock: str = "clk",
+               phase: int = 0, set_kind: str = "none",
+               reset_kind: str = "none", num_ports: int = 1) -> int:
+        """Add a sequential element.  ``data`` is the D input node id."""
+        if gate_type not in SEQUENTIAL_TYPES:
+            raise CircuitError(f"{gate_type!r} is not a sequential type")
+        if set_kind not in SET_RESET_KINDS or reset_kind not in SET_RESET_KINDS:
+            raise CircuitError("set_kind/reset_kind must be one of "
+                               f"{SET_RESET_KINDS}")
+        if num_ports < 1:
+            raise CircuitError("num_ports must be >= 1")
+        node = self._new_node(name, gate_type)
+        node.clock = clock
+        node.phase = phase
+        node.set_kind = set_kind
+        node.reset_kind = reset_kind
+        node.num_ports = num_ports
+        if data is not None:
+            node.fanins = [data]
+        self.ffs.append(node.nid)
+        return node.nid
+
+    def set_data(self, ff: int, data: int) -> None:
+        """Late-bind the D input of a flip-flop (for feedback loops)."""
+        node = self.nodes[ff]
+        if not node.is_sequential:
+            raise CircuitError(f"{node.name} is not sequential")
+        node.fanins = [data]
+
+    def mark_output(self, nid: int) -> None:
+        """Declare a node a primary output."""
+        node = self.nodes[nid]
+        if not node.is_output:
+            node.is_output = True
+            self.outputs.append(nid)
+
+    def _check_fanin_arity(self, node: Node) -> None:
+        n = len(node.fanins)
+        t = node.gate_type
+        if t in (GateType.NOT, GateType.BUF) and n != 1:
+            raise CircuitError(f"{t.value} gate {node.name} needs 1 fanin")
+        if t in (GateType.TIE0, GateType.TIE1) and n != 0:
+            raise CircuitError(f"{t.value} gate {node.name} takes no fanin")
+        if t in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                 GateType.XOR, GateType.XNOR) and n < 1:
+            raise CircuitError(f"{t.value} gate {node.name} needs fanins")
+
+    # ------------------------------------------------------------------
+    # freeze / derived structure
+    # ------------------------------------------------------------------
+    def freeze(self) -> "Circuit":
+        """Validate, compute fanouts, levels and topological order."""
+        for node in self.nodes:
+            node.fanouts = []
+        for node in self.nodes:
+            if node.is_combinational:
+                self._check_fanin_arity(node)
+            if node.is_sequential and len(node.fanins) != 1:
+                raise CircuitError(
+                    f"sequential element {node.name} needs exactly one "
+                    f"data fanin, has {len(node.fanins)}")
+            for fi in node.fanins:
+                if not 0 <= fi < len(self.nodes):
+                    raise CircuitError(
+                        f"node {node.name} references unknown fanin {fi}")
+                self.nodes[fi].fanouts.append(node.nid)
+        self._levelize()
+        self._frozen = True
+        return self
+
+    def _levelize(self) -> None:
+        """Topologically order the combinational logic.
+
+        Primary inputs, constants and sequential-element *outputs* are level
+        0 sources.  A combinational cycle is a structural error.
+        """
+        n = len(self.nodes)
+        level = [0] * n
+        indeg = [0] * n
+        for node in self.nodes:
+            if node.is_combinational and node.gate_type not in (
+                    GateType.TIE0, GateType.TIE1):
+                indeg[node.nid] = len(node.fanins)
+        order: List[int] = []
+        ready = [node.nid for node in self.nodes if indeg[node.nid] == 0]
+        seen = 0
+        while ready:
+            nid = ready.pop()
+            seen += 1
+            node = self.nodes[nid]
+            if node.is_combinational:
+                order.append(nid)
+            for fo in node.fanouts:
+                fo_node = self.nodes[fo]
+                if not fo_node.is_combinational:
+                    continue
+                if level[fo] < level[nid] + 1:
+                    level[fo] = level[nid] + 1
+                indeg[fo] -= 1
+                if indeg[fo] == 0:
+                    ready.append(fo)
+        if seen != n:
+            cyclic = [self.nodes[i].name for i in range(n)
+                      if indeg[i] > 0]
+            raise CircuitError(
+                f"combinational cycle involving: {sorted(cyclic)[:10]}")
+        self.level = level
+        self.topo_order = order
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nid(self, name: str) -> int:
+        """Node id for a name (raises ``CircuitError`` if unknown)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CircuitError(f"unknown node name {name!r}") from None
+
+    def node(self, ref) -> Node:
+        """Node object from an id or a name."""
+        if isinstance(ref, str):
+            ref = self.nid(ref)
+        return self.nodes[ref]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates (paper's "Gates" column)."""
+        return sum(1 for n in self.nodes if n.is_combinational)
+
+    @property
+    def num_ffs(self) -> int:
+        return len(self.ffs)
+
+    def fanout_stems(self) -> List[int]:
+        """Nodes with structural fanout greater than one (paper section 3.1).
+
+        Sequential elements blocked for learning propagation (multi-port
+        latches, both-unconstrained set/reset) still qualify as stems -- the
+        restriction applies to propagating *through* them, not to injecting
+        on them.
+        """
+        return [n.nid for n in self.nodes if len(n.fanouts) > 1]
+
+    def ff_mask(self) -> List[bool]:
+        mask = [False] * len(self.nodes)
+        for f in self.ffs:
+            mask[f] = True
+        return mask
+
+    def transitive_fanout(self, nid: int) -> List[int]:
+        """All nodes reachable forward from ``nid`` (through FFs too)."""
+        seen = {nid}
+        stack = [nid]
+        while stack:
+            cur = stack.pop()
+            for fo in self.nodes[cur].fanouts:
+                if fo not in seen:
+                    seen.add(fo)
+                    stack.append(fo)
+        seen.discard(nid)
+        return sorted(seen)
+
+    def combinational_fanin_cone(self, nid: int) -> List[int]:
+        """Support cone of a node, stopping at PIs and FF outputs."""
+        seen = set()
+        stack = [nid]
+        while stack:
+            cur = stack.pop()
+            node = self.nodes[cur]
+            if cur != nid and (node.is_input or node.is_sequential):
+                seen.add(cur)
+                continue
+            for fi in node.fanins:
+                if fi not in seen:
+                    stack.append(fi)
+            seen.add(cur)
+        return sorted(seen)
+
+    def cone_support(self, nid: int) -> List[int]:
+        """PIs and FF outputs feeding the combinational cone of ``nid``."""
+        return [i for i in self.combinational_fanin_cone(nid)
+                if self.nodes[i].is_input or self.nodes[i].is_sequential]
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used by reports and benches."""
+        return {
+            "nodes": len(self.nodes),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "ffs": len(self.ffs),
+            "gates": self.num_gates,
+            "stems": len(self.fanout_stems()),
+        }

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+learn CIRCUIT        run sequential learning, print relations/ties
+atpg CIRCUIT         run the three-mode ATPG comparison
+untestable CIRCUIT   tie-gate vs FIRES untestability comparison
+analyze CIRCUIT      density of encoding (small circuits)
+stats CIRCUIT        structural statistics
+list                 list built-in circuit names
+
+CIRCUIT is a built-in name (``figure1``, ``s27``, ...), a profile name
+prefixed with ``like:`` (``like:s382`` or ``like:s382@0.5``), or a path
+to an ISCAS-89 ``.bench`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import analyze_state_space
+from .atpg import compare_untestable, run_atpg
+from .circuit import (
+    BUILTIN,
+    builtin_names,
+    get_builtin,
+    iscas_like,
+    load_bench,
+    retime_circuit,
+)
+from .circuit.netlist import Circuit
+from .core import LearnConfig, learn
+
+
+def resolve_circuit(spec: str, retime: int = 0) -> Circuit:
+    """Turn a CLI circuit spec into a Circuit."""
+    if spec in BUILTIN:
+        circuit = get_builtin(spec)
+    elif spec.startswith("like:"):
+        body = spec[len("like:"):]
+        if "@" in body:
+            name, scale = body.split("@", 1)
+            circuit = iscas_like(name, scale=float(scale))
+        else:
+            circuit = iscas_like(body)
+    else:
+        circuit = load_bench(spec)
+    if retime:
+        circuit = retime_circuit(circuit, moves=retime,
+                                 name=circuit.name + "_retimed")
+    return circuit
+
+
+def _cmd_list(_args) -> int:
+    for name in builtin_names():
+        print(name)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    circuit = resolve_circuit(args.circuit, args.retime)
+    print(f"{circuit.name}: {circuit.stats()}")
+    return 0
+
+
+def _cmd_learn(args) -> int:
+    circuit = resolve_circuit(args.circuit, args.retime)
+    config = LearnConfig(max_frames=args.max_frames,
+                         use_multi_node=not args.no_multi,
+                         use_equivalence=not args.no_equiv)
+    result = learn(circuit, config)
+    print("summary:", result.summary())
+    if args.verbose:
+        print("\nties:")
+        for tie in result.ties.all():
+            kind = "seq" if tie.sequential else "comb"
+            print(f"  {circuit.nodes[tie.nid].name} = {tie.value} "
+                  f"[{kind}, {tie.phase}]")
+        print("\nrelations:")
+        for line in result.relations.dump():
+            print(f"  {line}")
+    if args.validate:
+        violations = result.validate(n_sequences=args.validate)
+        print(f"\nvalidation: {len(violations)} violations")
+        for violation in violations[:10]:
+            print(f"  {violation}")
+        return 1 if violations else 0
+    return 0
+
+
+def _cmd_atpg(args) -> int:
+    circuit = resolve_circuit(args.circuit, args.retime)
+    learned = learn(circuit, LearnConfig(max_frames=args.max_frames))
+    print(f"learning: {learned.summary()}\n")
+    for mode, use in (("none", None), ("forbidden", learned),
+                      ("known", learned)):
+        stats = run_atpg(circuit, learned=use, mode=mode,
+                         backtrack_limit=args.backtrack_limit,
+                         max_frames=args.window,
+                         max_faults=args.max_faults)
+        print(f"mode={mode:9s} {stats.row()}")
+    return 0
+
+
+def _cmd_untestable(args) -> int:
+    circuit = resolve_circuit(args.circuit, args.retime)
+    print(compare_untestable(circuit).row())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    circuit = resolve_circuit(args.circuit, args.retime)
+    space = analyze_state_space(circuit, max_ffs=args.max_ffs)
+    print(f"{circuit.name}: {circuit.num_ffs} FFs, "
+          f"{len(space.valid_states)} valid states, "
+          f"density of encoding {space.density_of_encoding:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sequential learning for real circuits (DAC 1998 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list built-in circuits")
+
+    def add_circuit(p):
+        p.add_argument("circuit",
+                       help="builtin name, like:<profile>[@scale], or "
+                            ".bench path")
+        p.add_argument("--retime", type=int, default=0, metavar="MOVES",
+                       help="apply N backward-retiming moves first")
+
+    p = sub.add_parser("stats", help="structural statistics")
+    add_circuit(p)
+
+    p = sub.add_parser("learn", help="run sequential learning")
+    add_circuit(p)
+    p.add_argument("--max-frames", type=int, default=50)
+    p.add_argument("--no-multi", action="store_true",
+                   help="disable multiple-node learning")
+    p.add_argument("--no-equiv", action="store_true",
+                   help="disable gate-equivalence identification")
+    p.add_argument("--verbose", "-v", action="store_true")
+    p.add_argument("--validate", type=int, default=0, metavar="N",
+                   help="Monte-Carlo check with N random sequences")
+
+    p = sub.add_parser("atpg", help="three-mode ATPG comparison")
+    add_circuit(p)
+    p.add_argument("--backtrack-limit", type=int, default=30)
+    p.add_argument("--window", type=int, default=8,
+                   help="maximum time-frame window")
+    p.add_argument("--max-frames", type=int, default=50,
+                   help="learning simulation depth")
+    p.add_argument("--max-faults", type=int, default=None)
+
+    p = sub.add_parser("untestable", help="tie gates vs FIRES")
+    add_circuit(p)
+
+    p = sub.add_parser("analyze", help="density of encoding")
+    add_circuit(p)
+    p.add_argument("--max-ffs", type=int, default=16)
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "stats": _cmd_stats,
+    "learn": _cmd_learn,
+    "atpg": _cmd_atpg,
+    "untestable": _cmd_untestable,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

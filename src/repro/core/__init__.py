@@ -1,0 +1,32 @@
+"""Sequential learning of implications, invalid states and tied gates."""
+
+from .clock_domains import classify_ffs, is_single_domain, learning_passes
+from .engine import LearnConfig, LearnResult, SequentialLearner, learn
+from .equivalence import coupling_from, find_equivalences, verify_pair
+from .multi_node import MultiNodeStats, build_injections, run_multi_node
+from .relations import Relation, RelationDB, canonical
+from .single_node import (
+    SingleNodeData,
+    extract_cross_frame_relations,
+    extract_same_frame_relations,
+    run_single_node,
+)
+from .ties import (
+    TieInfo,
+    TieSet,
+    propagate_tie_constants,
+    ties_from_single_node,
+    untestable_faults_from_ties,
+)
+
+__all__ = [
+    "classify_ffs", "is_single_domain", "learning_passes",
+    "LearnConfig", "LearnResult", "SequentialLearner", "learn",
+    "coupling_from", "find_equivalences", "verify_pair",
+    "MultiNodeStats", "build_injections", "run_multi_node",
+    "Relation", "RelationDB", "canonical",
+    "SingleNodeData", "extract_cross_frame_relations",
+    "extract_same_frame_relations", "run_single_node",
+    "TieInfo", "TieSet", "propagate_tie_constants",
+    "ties_from_single_node", "untestable_faults_from_ties",
+]

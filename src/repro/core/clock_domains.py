@@ -1,0 +1,40 @@
+"""Clock-domain classification of sequential elements (paper section 3.3.2).
+
+Learned relations must be valid regardless of temporal relationships
+between clocks, so sequential elements are grouped into classes of
+identical (clock, phase, element-kind); a clock and its gated version are
+distinct clocks by name.  Learning runs once per class: cross-frame
+propagation is allowed only through the class under analysis, and the
+relation database additionally rejects FF-FF relations that straddle
+classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..circuit.netlist import Circuit
+
+DomainKey = Tuple[str, int, str]
+
+
+def classify_ffs(circuit: Circuit) -> Dict[DomainKey, List[int]]:
+    """Group sequential-element node ids by domain class."""
+    classes: Dict[DomainKey, List[int]] = {}
+    for fid in circuit.ffs:
+        classes.setdefault(circuit.nodes[fid].domain_key(), []).append(fid)
+    return classes
+
+
+def learning_passes(circuit: Circuit) -> List[Tuple[DomainKey, Set[int]]]:
+    """One (class key, active FF set) pass per clock-domain class.
+
+    Single-class circuits (the common benchmark case) get exactly one
+    pass over all FFs, so the classification adds no cost there.
+    """
+    classes = classify_ffs(circuit)
+    return [(key, set(members)) for key, members in sorted(classes.items())]
+
+
+def is_single_domain(circuit: Circuit) -> bool:
+    return len(classify_ffs(circuit)) <= 1

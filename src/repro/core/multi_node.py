@@ -1,0 +1,133 @@
+"""Multiple-node learning (paper section 3.1, second phase).
+
+Single-node learning misses relations needing several simultaneous
+assignments.  For every (node, value) the first phase recorded *all* its
+justifications -- each (stem, stem-value, offset) that produced it.  By
+the contrapositive law the complementary node value implies the
+complement of every justifying stem value at the corresponding earlier
+frame.  Injecting that whole assignment set and simulating forward
+yields new same-frame relations between the target and everything set at
+the final frame, and a simulation conflict proves the target node *tied*
+(the paper's G15 walkthrough).
+
+This phase runs with the :class:`~repro.sim.eventsim.Coupling` carrying
+phase-one ties and gate equivalences, which is what lets it find
+relations like F3=0 -> F1=0 in Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..circuit.gates import inv
+from ..circuit.netlist import Circuit
+from ..sim.eventsim import FrameSimulator
+from .relations import RelationDB
+from .single_node import SingleNodeData
+from .ties import TieSet
+
+
+@dataclass
+class MultiNodeStats:
+    """Bookkeeping for reports and tests."""
+
+    targets_run: int = 0
+    targets_skipped: int = 0
+    relations_added: int = 0
+    ties_found: int = 0
+    conflicts: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def build_injections(justifications: List[Tuple[int, int, int]],
+                     target: Tuple[int, int],
+                     max_frames: int
+                     ) -> Optional[Tuple[Dict[int, List[Tuple[int, int]]], int]]:
+    """Contrapositive assignment set for one target.
+
+    Returns ``(injections, t_max)`` where ``injections[frame]`` lists
+    (node, value) pairs, including the target itself at ``t_max``; or
+    ``None`` when the justification offsets exceed the frame budget.
+    Returns ``t_max = -1`` sentinel (with empty injections) when two
+    justifications contradict each other -- the target is then tied
+    outright (both stem values produce it, the single-node tie criterion
+    seen from the other side).
+    """
+    nid, value = target
+    offsets = [t for _s, _v, t in justifications]
+    t_max = max(offsets)
+    if t_max >= max_frames:
+        justifications = [j for j in justifications if j[2] < max_frames]
+        if not justifications:
+            return None
+        t_max = max(t for _s, _v, t in justifications)
+    by_frame: Dict[int, Dict[int, int]] = {}
+    for stem, stem_value, offset in justifications:
+        frame = t_max - offset
+        frame_map = by_frame.setdefault(frame, {})
+        want = inv(stem_value)
+        if frame_map.setdefault(stem, want) != want:
+            return {}, -1  # contradictory requirements: target is tied
+    target_map = by_frame.setdefault(t_max, {})
+    if target_map.setdefault(nid, inv(value)) != inv(value):
+        return {}, -1
+    injections = {frame: sorted(mapping.items())
+                  for frame, mapping in by_frame.items()}
+    return injections, t_max
+
+
+def run_multi_node(simulator: FrameSimulator, data: SingleNodeData,
+                   db: RelationDB, ties: TieSet, *,
+                   max_frames: int = 50,
+                   min_justifications: int = 1,
+                   max_targets: Optional[int] = None,
+                   store_gate_gate: bool = False) -> MultiNodeStats:
+    """Run multiple-node learning over every justified (node, value)."""
+    circuit = simulator.circuit
+    stats = MultiNodeStats()
+    constants = simulator._constants
+    is_ff = circuit.ff_mask()
+    targets = [(key, justs) for key, justs in data.justifications.items()
+               if len(justs) >= min_justifications
+               and key[0] not in constants and key[0] not in ties]
+    # Richest justification sets first: they reach furthest.
+    targets.sort(key=lambda item: -len(item[1]))
+    if max_targets is not None:
+        stats.targets_skipped += max(0, len(targets) - max_targets)
+        targets = targets[:max_targets]
+    for (nid, value), justifications in targets:
+        built = build_injections(justifications, (nid, value), max_frames)
+        if built is None:
+            stats.targets_skipped += 1
+            continue
+        injections, t_max = built
+        if t_max < 0:
+            if ties.add(nid, value, sequential=True, phase="multi",
+                        warmup=max(t for _s, _v, t in justifications)):
+                stats.ties_found += 1
+            continue
+        stats.targets_run += 1
+        result = simulator.run(injections, max_frames=t_max + 1,
+                               stop_on_repeat=False)
+        if result.conflict is not None:
+            # The premise nid=inv(value) is contradictory: tied to value.
+            if ties.add(nid, value, sequential=t_max >= 1, phase="multi",
+                        warmup=t_max):
+                stats.ties_found += 1
+                stats.conflicts.append((nid, value))
+            continue
+        if t_max >= len(result.frames):
+            continue
+        target_is_ff = is_ff[nid]
+        final = result.frames[t_max]
+        for m, u in final.items():
+            if m == nid or m in constants:
+                continue
+            if (t_max, m) in result.injected:
+                continue
+            if not store_gate_gate and not (target_is_ff or is_ff[m]):
+                continue
+            if db.add(nid, inv(value), m, u, source="multi",
+                      sequential=t_max >= 1, warmup=t_max):
+                stats.relations_added += 1
+    return stats

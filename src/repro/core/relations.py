@@ -1,0 +1,201 @@
+"""Implication-relation database.
+
+A relation ``a=va -> b=vb`` between two nodes *in the same time frame* is
+stored in canonical form (an implication and its contrapositive are the
+same fact).  Relations between two sequential elements are the paper's
+*invalid-state relations*: ``F6=1 -> F4=0`` encodes that every state with
+``F4=1 and F6=1`` is invalid.
+
+The database also enforces the paper's clock-domain rule (section 3.3.2):
+a relation between sequential elements of different classes is rejected at
+insertion time because their differing capture instants would invalidate
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..circuit.gates import inv
+from ..circuit.netlist import Circuit
+
+#: (a_nid, a_val, b_nid, b_val) in canonical orientation.
+RelationKey = Tuple[int, int, int, int]
+
+
+def canonical(a: int, va: int, b: int, vb: int) -> RelationKey:
+    """Canonical orientation of ``a=va -> b=vb``.
+
+    The contrapositive ``b=inv(vb) -> a=inv(va)`` denotes the same fact;
+    the lexicographically smaller of the two tuples is the key.
+    """
+    forward = (a, va, b, vb)
+    contra = (b, inv(vb), a, inv(va))
+    return forward if forward <= contra else contra
+
+
+@dataclass
+class Relation:
+    """One learned same-frame implication with provenance."""
+
+    a: int
+    va: int
+    b: int
+    vb: int
+    #: 'single', 'multi' or 'equiv' -- which learning phase found it.
+    source: str = "single"
+    #: True when the relation needed cross-frame analysis (frame >= 1).
+    sequential: bool = True
+    #: Frames after power-up before the relation is guaranteed to hold
+    #: (the contrapositive chain reaches this many frames into the past).
+    warmup: int = 1
+
+    def key(self) -> RelationKey:
+        return canonical(self.a, self.va, self.b, self.vb)
+
+
+class RelationDB:
+    """Deduplicated store of learned relations with fast implication lookup."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._relations: Dict[RelationKey, Relation] = {}
+        self._adj: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._domain_of: Dict[int, Tuple] = {
+            fid: circuit.nodes[fid].domain_key() for fid in circuit.ffs}
+
+    # ------------------------------------------------------------------
+    def add(self, a: int, va: int, b: int, vb: int, *,
+            source: str = "single", sequential: bool = True,
+            warmup: int = 1) -> bool:
+        """Insert a relation; returns True when it is new and accepted."""
+        if a == b:
+            return False
+        dom_a = self._domain_of.get(a)
+        dom_b = self._domain_of.get(b)
+        if dom_a is not None and dom_b is not None and dom_a != dom_b:
+            return False  # cross-clock-domain FF pair (section 3.3.2)
+        key = canonical(a, va, b, vb)
+        if key in self._relations:
+            existing = self._relations[key]
+            # Keep the strongest evidence: earliest validity, comb beats seq.
+            if sequential is False:
+                existing.sequential = False
+            existing.warmup = min(existing.warmup, warmup)
+            return False
+        ka, kva, kb, kvb = key
+        relation = Relation(ka, kva, kb, kvb, source=source,
+                            sequential=sequential, warmup=warmup)
+        self._relations[key] = relation
+        self._adj.setdefault((ka, kva), []).append((kb, kvb, relation))
+        self._adj.setdefault((kb, inv(kvb)), []).append(
+            (ka, inv(kva), relation))
+        return True
+
+    # ------------------------------------------------------------------
+    def implications_of(self, nid: int, value: int) -> List[Tuple[int, int]]:
+        """All (node, value) pairs directly implied by ``nid=value``."""
+        return [(m, u) for m, u, _r in self._adj.get((nid, value), ())]
+
+    def implications_at(self, nid: int, value: int,
+                        frame: int) -> List[Tuple[int, int]]:
+        """Direct implications valid at ``frame`` (warm-up respected)."""
+        return [(m, u) for m, u, r in self._adj.get((nid, value), ())
+                if r.warmup <= frame]
+
+    def closure_of(self, nid: int, value: int) -> Dict[int, int]:
+        """Transitive closure of direct implications (conflict -> None).
+
+        Returns {node: value}; if the closure is contradictory the node is
+        effectively tied and the caller should treat ``nid=value`` as
+        impossible -- signalled by raising :class:`ValueError`.
+        """
+        out: Dict[int, int] = {nid: value}
+        stack = [(nid, value)]
+        while stack:
+            cur = stack.pop()
+            for m, u, _r in self._adj.get(cur, ()):
+                if m in out:
+                    if out[m] != u:
+                        raise ValueError(
+                            f"contradictory closure from {nid}={value}")
+                    continue
+                out[m] = u
+                stack.append((m, u))
+        del out[nid]
+        return out
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    def __contains__(self, item) -> bool:
+        a, va, b, vb = item
+        return canonical(a, va, b, vb) in self._relations
+
+    def has(self, a_name: str, va: int, b_name: str, vb: int) -> bool:
+        """Name-based membership check (test/report convenience)."""
+        return (self.circuit.nid(a_name), va,
+                self.circuit.nid(b_name), vb) in self
+
+    # ------------------------------------------------------------------
+    def kind(self, relation: Relation) -> str:
+        """'ff_ff', 'gate_ff' or 'gate_gate'."""
+        a_ff = self.circuit.nodes[relation.a].is_sequential
+        b_ff = self.circuit.nodes[relation.b].is_sequential
+        if a_ff and b_ff:
+            return "ff_ff"
+        if a_ff or b_ff:
+            return "gate_ff"
+        return "gate_gate"
+
+    def counts(self, sequential_only: bool = False) -> Dict[str, int]:
+        """Relation counts by kind (the paper's Table 3 columns)."""
+        out = {"ff_ff": 0, "gate_ff": 0, "gate_gate": 0}
+        for relation in self:
+            if sequential_only and not relation.sequential:
+                continue
+            out[self.kind(relation)] += 1
+        return out
+
+    def invalid_state_relations(self) -> List[Relation]:
+        """FF-FF relations (each encodes a set of invalid states)."""
+        return [r for r in self if self.kind(r) == "ff_ff"]
+
+    # ------------------------------------------------------------------
+    def dump(self) -> List[str]:
+        """Human-readable relation list, sorted, one per line."""
+        lines = []
+        for relation in self:
+            na = self.circuit.nodes[relation.a].name
+            nb = self.circuit.nodes[relation.b].name
+            lines.append(
+                f"{na}={relation.va} -> {nb}={relation.vb}"
+                f"  [{relation.source}{'' if relation.sequential else ',comb'}]")
+        return sorted(lines)
+
+    def violated_by(self, values: Dict[int, int],
+                    frame: Optional[int] = None) -> Optional[Relation]:
+        """First relation contradicted by a (partial) value assignment.
+
+        ``values`` maps node id -> 0/1.  Used by the ATPG to prune state
+        justification: a requirement that violates an invalid-state
+        relation can never be justified.  When ``frame`` is given,
+        relations whose warm-up exceeds it are skipped (they are not yet
+        guaranteed that close to power-up).
+        """
+        for relation in self._relations.values():
+            if frame is not None and relation.warmup > frame:
+                continue
+            va = values.get(relation.a)
+            vb = values.get(relation.b)
+            if va == relation.va and vb is not None and vb != relation.vb:
+                return relation
+            if vb == inv(relation.vb) and va is not None \
+                    and va != inv(relation.va):
+                return relation
+        return None

@@ -1,0 +1,129 @@
+"""Single-node learning (paper section 3.1, first phase).
+
+For every fanout stem, both a 0 and a 1 are injected at frame 0 and
+simulated forward across time frames.  Same-frame relations follow from
+the contrapositive law: if ``s=0 -> a=x`` at frame t and ``s=1 -> b=y`` at
+frame t, then ``a=inv(x) -> s=1 -> b=y``, i.e. the relation
+``a=inv(x) -> b=y``.
+
+The phase also records, for every (node, value) produced, the set of
+(stem, stem-value, frame-offset) *justifications* -- the input to the
+multiple-node phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..circuit.gates import ONE, ZERO, inv
+from ..circuit.netlist import Circuit
+from ..sim.eventsim import FrameSimulator, InjectionResult
+from .relations import RelationDB
+
+#: (stem, stem value, frame offset) -- one way a node value is produced.
+Justification = Tuple[int, int, int]
+
+
+@dataclass
+class SingleNodeData:
+    """Everything the single-node phase produced."""
+
+    #: (stem, injected value) -> simulation result.
+    runs: Dict[Tuple[int, int], InjectionResult] = field(default_factory=dict)
+    #: (node, value) -> all justifications observed.
+    justifications: Dict[Tuple[int, int], List[Justification]] = field(
+        default_factory=dict)
+    #: Stems skipped because they are constants/ties.
+    skipped_stems: List[int] = field(default_factory=list)
+
+    def implied_at(self, stem: int, value: int, frame: int
+                   ) -> Dict[int, int]:
+        """Derived values at ``frame`` for one stem run ({} off the end)."""
+        result = self.runs.get((stem, value))
+        if result is None or frame >= len(result.frames):
+            return {}
+        return result.implied(frame)
+
+
+def run_single_node(simulator: FrameSimulator,
+                    stems: Optional[List[int]] = None,
+                    max_frames: int = 50) -> SingleNodeData:
+    """Inject 0 and 1 on every stem and record forward implications."""
+    circuit = simulator.circuit
+    if stems is None:
+        stems = circuit.fanout_stems()
+    data = SingleNodeData()
+    constants = simulator._constants
+    for stem in stems:
+        if stem in constants:
+            data.skipped_stems.append(stem)
+            continue
+        for value in (ZERO, ONE):
+            result = simulator.inject_single(stem, value,
+                                             max_frames=max_frames)
+            data.runs[(stem, value)] = result
+            for frame in range(len(result.frames)):
+                for nid, val in result.implied(frame).items():
+                    if nid in constants:
+                        continue
+                    data.justifications.setdefault((nid, val), []).append(
+                        (stem, value, frame))
+    return data
+
+
+def extract_same_frame_relations(data: SingleNodeData, db: RelationDB,
+                                 *, store_gate_gate: bool = False) -> int:
+    """Pair the 0-run and 1-run of every stem frame-by-frame.
+
+    Only pairs with at least one sequential-element endpoint are stored
+    unless ``store_gate_gate`` (the paper: gate-gate relations follow from
+    gate-FF ones and are not extracted).  Returns the number of relations
+    added.
+    """
+    circuit = db.circuit
+    added = 0
+    is_ff = circuit.ff_mask()
+    stems = {s for s, _v in data.runs}
+    for stem in stems:
+        run0 = data.runs.get((stem, ZERO))
+        run1 = data.runs.get((stem, ONE))
+        if run0 is None or run1 is None:
+            continue
+        depth = min(len(run0.frames), len(run1.frames))
+        for frame in range(depth):
+            implied0 = data.implied_at(stem, ZERO, frame)
+            implied1 = data.implied_at(stem, ONE, frame)
+            if not implied0 or not implied1:
+                continue
+            sequential = frame >= 1
+            for a, x in implied0.items():
+                a_ff = is_ff[a]
+                for b, y in implied1.items():
+                    if a == b:
+                        continue
+                    if not store_gate_gate and not (a_ff or is_ff[b]):
+                        continue
+                    if db.add(a, inv(x), b, y, source="single",
+                              sequential=sequential, warmup=frame):
+                        added += 1
+    return added
+
+
+def extract_cross_frame_relations(data: SingleNodeData, circuit: Circuit
+                                  ) -> List[Tuple[int, int, int, int, int]]:
+    """Stem-to-node cross-frame implications.
+
+    Returns tuples ``(stem, stem_value, node, value, offset)`` meaning
+    ``stem=stem_value at T=i  ->  node=value at T=i+offset``.  The paper
+    notes these have limited ATPG use (the window must cover the offset)
+    but the API exposes them for completeness; the Figure-1 example
+    relation ``G1=0 at T=i+1 -> I2=0 at T=i`` is the contrapositive of one
+    of these.
+    """
+    out = []
+    for (stem, value), result in data.runs.items():
+        for frame in range(len(result.frames)):
+            for nid, val in result.implied(frame).items():
+                out.append((stem, value, nid, val, frame))
+    return out

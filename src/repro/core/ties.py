@@ -1,0 +1,178 @@
+"""Tie-gate extraction (paper section 3.2).
+
+A gate is *tied* to value v when no input sequence can set it to inv(v).
+Three mechanisms identify ties:
+
+1. **Single-node criterion**: both values of some stem imply the same
+   value v on node G at the same frame -- G is tied to v (frame 0 makes it
+   a combinational tie, later frames a sequential tie).
+2. **Constant propagation**: with known ties treated as frame constants,
+   forward simulation with no injections determines further nodes; those
+   are tied too (this is how G8 = AND(F2, G3) follows from the G3 tie).
+3. **Multiple-node conflicts** (in :mod:`repro.core.multi_node`): a
+   contradiction while simulating the contrapositive assignment set of
+   ``G=v`` proves G tied to inv(v) -- the paper's G15 example.
+
+Sequentially tied gates are c-cycle redundant (ref [13] of the paper):
+the stuck-at-v fault on a gate tied to v is untestable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..circuit.gates import ONE, ZERO
+from ..circuit.netlist import Circuit
+from ..sim.eventsim import Coupling, FrameSimulator
+from .single_node import SingleNodeData
+
+
+@dataclass(frozen=True)
+class TieInfo:
+    """A node proven constant."""
+
+    nid: int
+    value: int
+    #: False when the tie holds combinationally (frame 0), True when it
+    #: only holds after warm-up cycles.
+    sequential: bool
+    #: Which mechanism proved it: 'single', 'propagation', 'multi'.
+    phase: str
+    #: Frames after power-up before the tie value is guaranteed.
+    warmup: int = 0
+
+
+class TieSet:
+    """Deduplicated tie collection; combinational evidence wins."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._ties: Dict[int, TieInfo] = {}
+
+    def add(self, nid: int, value: int, sequential: bool,
+            phase: str, warmup: int = 0) -> bool:
+        if not sequential:
+            warmup = 0
+        existing = self._ties.get(nid)
+        if existing is not None:
+            # A node cannot be tied to both values in a consistent circuit;
+            # keep the stronger (earlier-valid) evidence.
+            if existing.value == value and warmup < existing.warmup:
+                self._ties[nid] = TieInfo(nid, value, sequential, phase,
+                                          warmup)
+            return False
+        self._ties[nid] = TieInfo(nid, value, sequential, phase, warmup)
+        return True
+
+    def value_of(self, nid: int) -> Optional[int]:
+        info = self._ties.get(nid)
+        return None if info is None else info.value
+
+    def combinational(self) -> Dict[int, int]:
+        """nid -> value for combinational ties (usable as constants)."""
+        return {nid: t.value for nid, t in self._ties.items()
+                if not t.sequential}
+
+    def all(self) -> List[TieInfo]:
+        return sorted(self._ties.values(), key=lambda t: t.nid)
+
+    def __len__(self) -> int:
+        return len(self._ties)
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._ties
+
+    def names(self) -> Dict[str, int]:
+        return {self.circuit.nodes[n].name: t.value
+                for n, t in self._ties.items()}
+
+
+def ties_from_single_node(data: SingleNodeData, circuit: Circuit,
+                          ties: Optional[TieSet] = None) -> TieSet:
+    """Apply the both-values-imply-same criterion to phase-one results."""
+    if ties is None:
+        ties = TieSet(circuit)
+    stems = {s for s, _v in data.runs}
+    for stem in stems:
+        run0 = data.runs.get((stem, ZERO))
+        run1 = data.runs.get((stem, ONE))
+        # An injection that immediately conflicts proves the stem itself
+        # tied to the other value.
+        for value, run in ((ZERO, run0), (ONE, run1)):
+            if run is not None and run.conflict is not None:
+                ties.add(stem, 1 - value, sequential=False, phase="single")
+        if run0 is None or run1 is None or run0.conflict or run1.conflict:
+            continue
+        depth = min(len(run0.frames), len(run1.frames))
+        for frame in range(depth):
+            implied0 = data.implied_at(stem, ZERO, frame)
+            if not implied0:
+                continue
+            implied1 = data.implied_at(stem, ONE, frame)
+            for nid, val in implied0.items():
+                if implied1.get(nid) == val:
+                    ties.add(nid, val, sequential=frame >= 1,
+                             phase="single", warmup=frame)
+    return ties
+
+
+def propagate_tie_constants(circuit: Circuit, ties: TieSet,
+                            max_frames: int = 50) -> int:
+    """Grow the tie set by constant propagation; returns ties added.
+
+    Runs an injection-free simulation with current combinational ties as
+    frame constants.  Every value that becomes known is a tie: at frame 0
+    combinational, later sequential (the FF needs warm-up cycles).
+    Iterates until no new combinational ties appear.
+    """
+    added = 0
+    while True:
+        coupling = Coupling(ties=dict(ties.combinational()))
+        simulator = FrameSimulator(circuit, coupling)
+        result = simulator.run({}, max_frames=max_frames)
+        new_comb = 0
+        for frame, values in enumerate(result.frames):
+            for nid, val in values.items():
+                if nid in simulator._constants:
+                    continue
+                if ties.add(nid, val, sequential=frame >= 1,
+                            phase="propagation", warmup=frame):
+                    added += 1
+                    if frame == 0:
+                        new_comb += 1
+        if new_comb == 0:
+            break
+    return added
+
+
+def untestable_faults_from_ties(circuit: Circuit, ties: TieSet,
+                                fault_list, classes=None) -> List:
+    """Faults proven untestable by tie gates.
+
+    A node tied to v makes its stuck-at-v fault untestable (the fault-free
+    and faulty machines never differ), and any branch fault whose stem is
+    tied to the same value likewise.  ``fault_list`` is a sequence of
+    :class:`repro.atpg.faults.Fault`.
+
+    ``classes`` (optional, from
+    :func:`repro.atpg.faults.collapse_with_classes`) maps each collapsed
+    representative to its whole equivalence class; a representative is
+    untestable when *any* class member is (e.g. ``G14 s-a-1`` equivalent
+    to a tied gate's ``G15 s-a-0``).
+    """
+
+    def fault_is_tied(fault) -> bool:
+        if fault.pin is None:
+            site = fault.node
+        else:
+            site = circuit.nodes[fault.node].fanins[fault.pin]
+        tied = ties.value_of(site)
+        return tied is not None and tied == fault.value
+
+    out = []
+    for fault in fault_list:
+        members = classes.get(fault, [fault]) if classes else [fault]
+        if any(fault_is_tied(member) for member in members):
+            out.append(fault)
+    return out

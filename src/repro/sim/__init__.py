@@ -1,0 +1,36 @@
+"""Simulation substrates: event-driven 3-valued, bit-parallel, fault sim."""
+
+from .eventsim import (
+    Assignment,
+    Conflict,
+    Coupling,
+    FrameSimulator,
+    InjectionResult,
+    simulate_sequence,
+)
+from .faultsim import FaultSimulator, fault_coverage, fault_simulate
+from .parallel import (
+    exhaustive_masks,
+    pack_patterns,
+    random_source_masks,
+    signatures,
+    simulate_patterns,
+)
+from .values import (
+    V0,
+    V1,
+    VD,
+    VDBAR,
+    VX,
+    composite_name,
+    is_fault_effect,
+)
+
+__all__ = [
+    "Assignment", "Conflict", "Coupling", "FrameSimulator",
+    "InjectionResult", "simulate_sequence",
+    "FaultSimulator", "fault_coverage", "fault_simulate",
+    "exhaustive_masks", "pack_patterns", "random_source_masks",
+    "signatures", "simulate_patterns",
+    "V0", "V1", "VD", "VDBAR", "VX", "composite_name", "is_fault_effect",
+]

@@ -1,0 +1,293 @@
+"""Event-driven three-valued simulation across time frames.
+
+This is the learning engine's workhorse (paper section 3): values are
+injected on selected nodes at selected frames and propagated *forward
+only*, event-driven, through the combinational logic and across sequential
+elements into later frames.  Everything starts at X, so only the cone
+actually reached by known values is ever touched -- that sparsity is what
+makes the technique "fast" and it is preserved here.
+
+Real-circuit rules (paper section 3.3) are enforced at the frame boundary:
+
+* no propagation across multi-port latches,
+* no propagation across FFs with both set and reset unconstrained,
+* with one unconstrained line, only the value the line would itself
+  produce may propagate (set -> only 1, reset -> only 0),
+* an optional ``active_ffs`` set restricts propagation to one
+  clock-domain class (learning runs once per class).
+
+A :class:`Coupling` carries knowledge from earlier learning phases: tied
+gates become per-frame constants and combinationally equivalent gates copy
+values to each other, exactly how the paper's multiple-node phase benefits
+from phase-one results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..circuit.gates import GateType, ONE, X, ZERO, eval_gate, inv
+from ..circuit.netlist import Circuit
+
+#: An assignment request: node id -> value, at some frame.
+Assignment = Tuple[int, int]
+
+
+@dataclass
+class Conflict:
+    """A known value contradicted during propagation."""
+
+    nid: int
+    frame: int
+    existing: int
+    attempted: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"conflict on node {self.nid} at frame {self.frame}: "
+                f"{self.existing} vs {self.attempted}")
+
+
+@dataclass
+class Coupling:
+    """Knowledge injected into simulation from earlier learning phases.
+
+    ``ties`` maps node id -> constant value (combinational ties).
+    ``equiv`` maps node id -> (class id, polarity); two nodes with the
+    same class id always carry equal (same polarity) or complementary
+    (different polarity) values.
+    """
+
+    ties: Dict[int, int] = field(default_factory=dict)
+    equiv: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    _members: Dict[int, List[int]] = field(default_factory=dict)
+
+    def finalize(self) -> "Coupling":
+        """Index equivalence-class members for fast lookup."""
+        self._members = {}
+        for nid, (cls, _pol) in self.equiv.items():
+            self._members.setdefault(cls, []).append(nid)
+        return self
+
+    def classmates(self, nid: int) -> List[Tuple[int, int]]:
+        """(other node, relative polarity) pairs for ``nid``'s class."""
+        if nid not in self.equiv:
+            return []
+        cls, pol = self.equiv[nid]
+        out = []
+        for other in self._members.get(cls, ()):
+            if other != nid:
+                out.append((other, pol ^ self.equiv[other][1]))
+        return out
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one forward-injection simulation."""
+
+    #: Known values per frame, node id -> value.  Includes propagated FF
+    #: state and implied gates; includes injected values too (see
+    #: ``injected`` to filter them out).
+    frames: List[Dict[int, int]]
+    #: (frame, nid) pairs that were externally injected.
+    injected: Set[Tuple[int, int]]
+    #: First contradiction met, or None.
+    conflict: Optional[Conflict]
+    #: True when simulation stopped because the implied state repeated.
+    repeated: bool
+
+    def implied(self, frame: int) -> Dict[int, int]:
+        """Values at ``frame`` that were derived, not injected."""
+        return {nid: v for nid, v in self.frames[frame].items()
+                if (frame, nid) not in self.injected}
+
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+
+class FrameSimulator:
+    """Forward event-driven 3-valued simulator with value injection."""
+
+    def __init__(self, circuit: Circuit, coupling: Optional[Coupling] = None,
+                 active_ffs: Optional[Set[int]] = None):
+        self.circuit = circuit
+        self.coupling = (coupling or Coupling()).finalize()
+        self.active_ffs = active_ffs
+        self._constants = self._build_constants()
+
+    # ------------------------------------------------------------------
+    def _build_constants(self) -> Dict[int, int]:
+        consts = dict(self.coupling.ties)
+        for node in self.circuit.nodes:
+            if node.gate_type is GateType.TIE0:
+                consts[node.nid] = ZERO
+            elif node.gate_type is GateType.TIE1:
+                consts[node.nid] = ONE
+        return consts
+
+    def _transfer_ok(self, ff_node, value: int) -> bool:
+        """May ``value`` propagate across this sequential element?"""
+        if self.active_ffs is not None and ff_node.nid not in self.active_ffs:
+            return False
+        if ff_node.num_ports > 1:
+            return False
+        set_u = ff_node.set_kind == "unconstrained"
+        reset_u = ff_node.reset_kind == "unconstrained"
+        if set_u and reset_u:
+            return False
+        if set_u:
+            return value == ONE
+        if reset_u:
+            return value == ZERO
+        return True
+
+    # ------------------------------------------------------------------
+    def run(self, injections: Dict[int, Iterable[Assignment]],
+            max_frames: int = 50,
+            stop_on_repeat: bool = True) -> InjectionResult:
+        """Simulate forward with ``injections[frame] = [(nid, value), ...]``.
+
+        Stops at ``max_frames``, on a conflict, or (like the paper) when
+        the implied FF state repeats between consecutive frames and no
+        later injections are pending.
+        """
+        circuit = self.circuit
+        frames: List[Dict[int, int]] = []
+        injected: Set[Tuple[int, int]] = set()
+        conflict: Optional[Conflict] = None
+        repeated = False
+        last_injection_frame = max(injections) if injections else 0
+        state: Dict[int, int] = {}
+        frame = 0
+        while frame < max_frames:
+            values: Dict[int, int] = {}
+            frames.append(values)
+            queue: deque = deque()
+
+            def _set(nid: int, value: int) -> bool:
+                """Record a known value; returns False on conflict."""
+                nonlocal conflict
+                existing = values.get(nid, self._constants.get(nid, X))
+                if existing != X:
+                    if existing != value:
+                        conflict = Conflict(nid, frame, existing, value)
+                        return False
+                    return True
+                values[nid] = value
+                queue.append(nid)
+                for other, pol in self.coupling.classmates(nid):
+                    if not _set(other, value ^ pol if value != X else X):
+                        return False
+                return True
+
+            ok = True
+            # 1. frame-constant ties seed propagation
+            for nid, value in self._constants.items():
+                values[nid] = value
+                queue.append(nid)
+            # 2. state carried over from the previous frame
+            for nid, value in state.items():
+                if not _set(nid, value):
+                    ok = False
+                    break
+            # 3. external injections for this frame
+            if ok:
+                for nid, value in injections.get(frame, ()):
+                    injected.add((frame, nid))
+                    if not _set(nid, value):
+                        ok = False
+                        break
+            # 4. event propagation
+            while ok and queue:
+                nid = queue.popleft()
+                for fo in circuit.nodes[nid].fanouts:
+                    fo_node = circuit.nodes[fo]
+                    if not fo_node.is_combinational:
+                        continue
+                    fanin_values = [
+                        values.get(f, self._constants.get(f, X))
+                        for f in fo_node.fanins]
+                    out = eval_gate(fo_node.gate_type, fanin_values)
+                    if out == X:
+                        continue
+                    # _set also detects conflicts with an already-known
+                    # (e.g. injected) value -- that is how multiple-node
+                    # learning proves tie gates.
+                    if not _set(fo, out):
+                        ok = False
+                        break
+            if not ok:
+                break
+            # 5. frame boundary: sample FF data inputs
+            next_state: Dict[int, int] = {}
+            for fid in circuit.ffs:
+                ff_node = circuit.nodes[fid]
+                data = values.get(ff_node.fanins[0],
+                                  self._constants.get(ff_node.fanins[0], X))
+                if data != X and self._transfer_ok(ff_node, data):
+                    next_state[fid] = data
+            if (stop_on_repeat and frame >= last_injection_frame
+                    and next_state == state):
+                repeated = True
+                break
+            if not next_state and frame >= last_injection_frame:
+                # Nothing will ever become known again.
+                repeated = True
+                break
+            state = next_state
+            frame += 1
+        return InjectionResult(frames=frames, injected=injected,
+                               conflict=conflict, repeated=repeated)
+
+    # convenience -------------------------------------------------------
+    def inject_single(self, nid: int, value: int,
+                      max_frames: int = 50) -> InjectionResult:
+        """Inject one value at frame 0 and simulate forward."""
+        return self.run({0: [(nid, value)]}, max_frames=max_frames)
+
+
+def simulate_sequence(circuit: Circuit,
+                      sequence: List[Dict[str, int]],
+                      init_state: Optional[Dict[str, int]] = None
+                      ) -> List[Dict[str, int]]:
+    """Plain full-circuit 3-valued simulation of an input sequence.
+
+    ``sequence`` is a list of {input name: value} vectors; missing inputs
+    are X.  The power-up state is all-X unless ``init_state`` gives FF
+    values by name.  Returns the full value map (by node name) per frame.
+    Used by tests as an oracle and by examples.  Unlike
+    :class:`FrameSimulator` this applies *no* learning-propagation
+    restrictions: it models what the real hardware does, which is exactly
+    what learned relations must never contradict.
+    """
+    state: Dict[int, int] = {}
+    if init_state:
+        for name, value in init_state.items():
+            state[circuit.nid(name)] = value
+    out: List[Dict[str, int]] = []
+    for vector in sequence:
+        values: Dict[int, int] = {}
+        for node in circuit.nodes:
+            if node.gate_type is GateType.TIE0:
+                values[node.nid] = ZERO
+            elif node.gate_type is GateType.TIE1:
+                values[node.nid] = ONE
+        for name, value in vector.items():
+            values[circuit.nid(name)] = value
+        for fid in circuit.ffs:
+            values[fid] = state.get(fid, X)
+        for nid in circuit.topo_order:
+            node = circuit.nodes[nid]
+            if node.gate_type in (GateType.TIE0, GateType.TIE1):
+                continue
+            values[nid] = eval_gate(
+                node.gate_type,
+                [values.get(f, X) for f in node.fanins])
+        for pid in circuit.inputs:
+            values.setdefault(pid, X)
+        out.append({circuit.nodes[n].name: values.get(n, X)
+                    for n in range(len(circuit.nodes))})
+        state = {fid: values.get(circuit.nodes[fid].fanins[0], X)
+                 for fid in circuit.ffs}
+    return out

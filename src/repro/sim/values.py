@@ -1,0 +1,55 @@
+"""Logic value helpers shared by the simulators.
+
+Three-valued scalar values come from :mod:`repro.circuit.gates` (``ZERO``,
+``ONE``, ``X``).  This module adds the composite good/faulty pair used by
+the ATPG's five-valued D-algebra:
+
+==========  ==========  =========
+good value  fault value  D-symbol
+==========  ==========  =========
+1           0            D
+0           1            D'
+v           v            v
+any X       --           X
+==========  ==========  =========
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..circuit.gates import ONE, X, ZERO, inv, value_name
+
+#: Composite five-valued symbols as (good, faulty) pairs.
+V0: Tuple[int, int] = (ZERO, ZERO)
+V1: Tuple[int, int] = (ONE, ONE)
+VD: Tuple[int, int] = (ONE, ZERO)
+VDBAR: Tuple[int, int] = (ZERO, ONE)
+VX: Tuple[int, int] = (X, X)
+
+
+def composite_name(pair: Tuple[int, int]) -> str:
+    """Printable D-algebra symbol for a (good, faulty) pair."""
+    good, faulty = pair
+    if good == ONE and faulty == ZERO:
+        return "D"
+    if good == ZERO and faulty == ONE:
+        return "D'"
+    if good == faulty and good != X:
+        return value_name(good)
+    if good == faulty:
+        return "X"
+    return f"{value_name(good)}/{value_name(faulty)}"
+
+
+def is_fault_effect(pair: Tuple[int, int]) -> bool:
+    """True for D or D' (a visible good/faulty difference)."""
+    good, faulty = pair
+    return good != X and faulty != X and good != faulty
+
+
+__all__ = [
+    "ZERO", "ONE", "X", "inv", "value_name",
+    "V0", "V1", "VD", "VDBAR", "VX",
+    "composite_name", "is_fault_effect",
+]

@@ -1,0 +1,150 @@
+"""CircuitBuilder resolution rules and .bench round-tripping."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+from repro.circuit.bench import bench_text, parse_bench
+from repro.circuit.builder import parse_gate_type
+from repro.circuit import figure1, industrial_like, s27
+from repro.sim import simulate_sequence
+
+
+def test_gate_type_aliases():
+    assert parse_gate_type("AND") is GateType.AND
+    assert parse_gate_type("inv") is GateType.NOT
+    assert parse_gate_type("buff") is GateType.BUF
+    assert parse_gate_type(GateType.NOR) is GateType.NOR
+    with pytest.raises(CircuitError):
+        parse_gate_type("mux")
+
+
+def test_forward_references_resolve():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g2", "not", "g1")   # refers forward
+    b.gate("g1", "buf", "a")
+    b.output("g2")
+    c = b.build()
+    assert c.node("g2").fanins == [c.nid("g1")]
+
+
+def test_ff_feedback_loop():
+    b = CircuitBuilder()
+    b.inputs("en")
+    b.gate("nxt", "xor", "q", "en")
+    b.dff("q", "nxt")
+    b.output("q")
+    c = b.build()
+    assert c.node("q").fanins == [c.nid("nxt")]
+
+
+def test_undefined_signal_reported():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g", "and", "a", "ghost")
+    b.output("g")
+    with pytest.raises(CircuitError, match="ghost"):
+        b.build()
+
+
+def test_combinational_cycle_reported():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g1", "and", "a", "g2")
+    b.gate("g2", "or", "g1", "a")
+    b.output("g2")
+    with pytest.raises(CircuitError, match="cycle"):
+        b.build()
+
+
+def test_duplicate_signal_rejected():
+    b = CircuitBuilder()
+    b.inputs("a")
+    with pytest.raises(CircuitError):
+        b.inputs("a")
+
+
+def test_undefined_output_rejected():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g", "buf", "a")
+    b.output("nope")
+    with pytest.raises(CircuitError, match="nope"):
+        b.build()
+
+
+# ---------------------------------------------------------------------------
+# bench format
+# ---------------------------------------------------------------------------
+
+EXAMPLE = """
+# a comment
+INPUT(I1)
+INPUT(I2)
+OUTPUT(G3)
+F1 = DFF(G2)
+G1 = NAND(I1, F1)
+G2 = NOR(G1, I2)
+G3 = NOT(G2)
+"""
+
+
+def test_parse_bench_basic():
+    c = parse_bench(EXAMPLE, name="toy")
+    assert c.stats()["inputs"] == 2
+    assert c.stats()["ffs"] == 1
+    assert c.node("G1").gate_type is GateType.NAND
+    assert c.node("F1").fanins == [c.nid("G2")]
+
+
+def test_parse_bench_bad_line():
+    with pytest.raises(CircuitError, match="unparsable"):
+        parse_bench("INPUT(a)\nfoo bar baz\n")
+
+
+def test_parse_bench_dff_arity():
+    with pytest.raises(CircuitError):
+        parse_bench("INPUT(a)\nINPUT(b)\nf = DFF(a, b)\nOUTPUT(f)")
+
+
+def test_ff_attribute_comments_roundtrip():
+    src = """
+INPUT(a)
+OUTPUT(g)
+# @ff f clock=clkB phase=1 set=unconstrained reset=none ports=2
+f = LATCH(g)
+g = NOT(a)
+"""
+    c = parse_bench(src)
+    node = c.node("f")
+    assert node.gate_type is GateType.LATCH
+    assert node.clock == "clkB"
+    assert node.phase == 1
+    assert node.set_kind == "unconstrained"
+    assert node.num_ports == 2
+    # Write and re-read: attributes survive.
+    c2 = parse_bench(bench_text(c))
+    node2 = c2.node("f")
+    assert (node2.clock, node2.phase, node2.set_kind, node2.num_ports) == \
+        ("clkB", 1, "unconstrained", 2)
+
+
+def test_bad_ff_attribute_rejected():
+    with pytest.raises(CircuitError):
+        parse_bench("# @ff f wibble=3\nINPUT(a)\nf = DFF(a)\nOUTPUT(f)")
+
+
+@pytest.mark.parametrize("make", [figure1, s27,
+                                  lambda: industrial_like(n_ffs=12,
+                                                          n_gates=60)])
+def test_roundtrip_preserves_behaviour(make):
+    """write -> parse gives a circuit with identical simulation traces."""
+    import random
+
+    original = make()
+    rebuilt = parse_bench(bench_text(original), name=original.name)
+    assert original.stats() == rebuilt.stats()
+    rng = random.Random(7)
+    inputs = [original.nodes[i].name for i in original.inputs]
+    seq = [{n: rng.randint(0, 1) for n in inputs} for _ in range(6)]
+    assert simulate_sequence(original, seq) == simulate_sequence(rebuilt, seq)

@@ -1,0 +1,73 @@
+"""Command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_circuit
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure1" in out and "s27" in out
+
+
+def test_stats(capsys):
+    assert main(["stats", "figure1"]) == 0
+    assert "'ffs': 6" in capsys.readouterr().out
+
+
+def test_learn_verbose_validate(capsys):
+    assert main(["learn", "figure1", "-v", "--validate", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "G15" in out
+    assert "0 violations" in out
+
+
+def test_learn_flags(capsys):
+    assert main(["learn", "figure1", "--no-multi", "--no-equiv"]) == 0
+    out = capsys.readouterr().out
+    assert "'ties': 2" in out  # G15 needs the multi phase
+
+
+def test_analyze(capsys):
+    assert main(["analyze", "figure1"]) == 0
+    assert "density of encoding" in capsys.readouterr().out
+
+
+def test_untestable(capsys):
+    assert main(["untestable", "figure1"]) == 0
+    assert "tie_gates" in capsys.readouterr().out
+
+
+def test_atpg_small(capsys):
+    assert main(["atpg", "s27", "--backtrack-limit", "100",
+                 "--window", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "mode=none" in out and "mode=known" in out
+
+
+def test_resolve_like_profile():
+    circuit = resolve_circuit("like:s382@0.5")
+    assert circuit.num_ffs == 10
+
+
+def test_resolve_retime():
+    base = resolve_circuit("s27")
+    retimed = resolve_circuit("s27", retime=2)
+    assert retimed.num_ffs > base.num_ffs
+
+
+def test_resolve_bench_file(tmp_path):
+    from repro.circuit import bench_text, figure2
+
+    path = tmp_path / "fig2.bench"
+    path.write_text(bench_text(figure2()))
+    circuit = resolve_circuit(str(path))
+    assert circuit.num_ffs == 5
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

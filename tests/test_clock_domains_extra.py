@@ -1,0 +1,78 @@
+"""Clock-domain classification details (paper section 3.3.2)."""
+
+from repro.circuit import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.core import classify_ffs, is_single_domain, learning_passes, learn
+
+
+def mixed_circuit():
+    b = CircuitBuilder("mixed")
+    b.inputs("a", "b")
+    b.gate("g1", "and", "a", "b")
+    b.gate("g2", "or", "a", "b")
+    b.dff("f_clk0", "g1", clock="clk0")
+    b.dff("f_clk0_b", "g2", clock="clk0")
+    b.dff("f_gated", "g1", clock="clk0_gated")     # gated = distinct
+    b.dff("f_phase1", "g2", clock="clk0", phase=1)  # other phase
+    b.latch("l_clk0", "g1", clock="clk0")           # latch != dff
+    b.gate("q", "and", "f_clk0", "l_clk0")
+    b.output("q")
+    return b.build()
+
+
+def test_classification_keys():
+    circuit = mixed_circuit()
+    classes = classify_ffs(circuit)
+    # clk0/dff (x2), clk0_gated/dff, clk0-phase1/dff, clk0/latch.
+    assert len(classes) == 4
+    key_dff = ("clk0", 0, "dff")
+    assert len(classes[key_dff]) == 2
+    assert ("clk0", 0, "latch") in classes
+    assert ("clk0_gated", 0, "dff") in classes
+    assert ("clk0", 1, "dff") in classes
+
+
+def test_gated_clock_is_a_separate_clock():
+    circuit = mixed_circuit()
+    f = circuit.node("f_clk0")
+    g = circuit.node("f_gated")
+    assert f.domain_key() != g.domain_key()
+
+
+def test_single_domain_predicate():
+    circuit = mixed_circuit()
+    assert not is_single_domain(circuit)
+    from repro.circuit import s27
+
+    assert is_single_domain(s27())
+
+
+def test_passes_cover_all_ffs_disjointly():
+    circuit = mixed_circuit()
+    passes = learning_passes(circuit)
+    seen = set()
+    for _key, members in passes:
+        assert not (seen & members)
+        seen |= members
+    assert seen == set(circuit.ffs)
+
+
+def test_learning_on_mixed_domains_stays_in_class():
+    circuit = mixed_circuit()
+    result = learn(circuit)
+    for relation in result.relations:
+        a, b = circuit.nodes[relation.a], circuit.nodes[relation.b]
+        if a.is_sequential and b.is_sequential:
+            assert a.domain_key() == b.domain_key()
+    assert result.validate(25, 8) == []
+
+
+def test_combinational_circuit_learns_without_passes():
+    b = CircuitBuilder("comb")
+    b.inputs("a", "b")
+    b.gate("t", "xor", "a", "a")
+    b.gate("g", "or", "t", "b")
+    b.output("g")
+    circuit = b.build()
+    result = learn(circuit)
+    assert result.ties.names().get("t") == 0

@@ -1,0 +1,250 @@
+"""Event-driven injection simulator: the learning engine's workhorse."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, figure1
+from repro.circuit.gates import ONE, X, ZERO
+from repro.sim import Coupling, FrameSimulator, simulate_sequence
+
+
+def names(circuit, frame):
+    return {circuit.nodes[n].name: v for n, v in frame.items()}
+
+
+def test_figure1_stem_I1_both_values_tie_g3():
+    c = figure1()
+    sim = FrameSimulator(c)
+    for value in (ZERO, ONE):
+        r = sim.inject_single(c.nid("I1"), value)
+        assert names(c, r.frames[0]).get("G3") == 0
+        assert names(c, r.frames[0]).get("G8") == 0
+
+
+def test_figure1_stem_F3_self_sustains():
+    """Paper: injecting 1 on F3 repeats the state and stops early."""
+    c = figure1()
+    sim = FrameSimulator(c)
+    r = sim.inject_single(c.nid("F3"), ONE)
+    assert r.repeated
+    # F3=1 regenerates itself through G11 from frame 1 on.
+    for frame in range(1, r.num_frames()):
+        assert names(c, r.frames[frame]).get("F3") == 1
+        assert names(c, r.frames[frame]).get("F4") == 0
+
+
+def test_figure1_stem_I2_paper_row():
+    """The reconstructed I2=1 row matches the paper's Table 1 entries."""
+    c = figure1()
+    sim = FrameSimulator(c)
+    r = sim.inject_single(c.nid("I2"), ONE)
+    t0 = names(c, r.frames[0])
+    assert t0.get("G9") == 1 and t0.get("G10") == 1
+    assert t0.get("G11") == 1 and t0.get("G6") == 0
+    t1 = names(c, r.frames[1])
+    for signal, value in [("F1", 1), ("F2", 1), ("F3", 1), ("F4", 0),
+                          ("G1", 1), ("G2", 1), ("G4", 1), ("G5", 1),
+                          ("G6", 0), ("G9", 1), ("G11", 1), ("G14", 0),
+                          ("G15", 0)]:
+        assert t1.get(signal) == value, signal
+    t3 = names(c, r.frames[3])
+    assert t3.get("F3") == 1 and t3.get("F4") == 0
+    assert "F1" not in t3  # paper: F1 no longer implied at T=3
+
+
+def test_injection_marks_are_tracked():
+    c = figure1()
+    sim = FrameSimulator(c)
+    nid = c.nid("I2")
+    r = sim.inject_single(nid, ONE)
+    assert (0, nid) in r.injected
+    assert nid not in r.implied(0)
+
+
+def test_conflict_detection_forward():
+    """A later-implied value contradicting an injected one conflicts."""
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g1", "not", "a")
+    b.gate("g2", "buf", "g1")
+    b.output("g2")
+    c = b.build()
+    sim = FrameSimulator(c)
+    r = sim.run({0: [(c.nid("a"), ONE), (c.nid("g2"), ONE)]})
+    assert r.conflict is not None
+    assert r.conflict.frame == 0
+
+
+def test_conflict_on_injection_vs_constant():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("t0", "tie0")
+    b.gate("g", "or", "a", "t0")
+    b.output("g")
+    c = b.build()
+    sim = FrameSimulator(c)
+    r = sim.run({0: [(c.nid("t0"), ONE)]})
+    assert r.conflict is not None
+
+
+def test_stop_without_state_is_immediate():
+    b = CircuitBuilder()
+    b.inputs("a", "b")
+    b.gate("g", "and", "a", "b")
+    b.output("g")
+    c = b.build()
+    sim = FrameSimulator(c)
+    r = sim.inject_single(c.nid("a"), ZERO, max_frames=50)
+    assert r.num_frames() <= 2
+    assert r.repeated
+
+
+def test_max_frames_bound():
+    c = figure1()
+    sim = FrameSimulator(c)
+    r = sim.run({0: [(c.nid("I2"), ONE)]}, max_frames=2,
+                stop_on_repeat=False)
+    assert r.num_frames() == 2
+
+
+def test_tie_coupling_unlocks_propagation():
+    """With G3 tied, G8 and then G10 become derivable from I2=0."""
+    c = figure1()
+    plain = FrameSimulator(c)
+    r_plain = plain.inject_single(c.nid("I2"), ZERO)
+    assert "F2" not in names(c, r_plain.frames[1])
+    coupled = FrameSimulator(
+        c, Coupling(ties={c.nid("G3"): ZERO, c.nid("G8"): ZERO}))
+    r = coupled.inject_single(c.nid("I2"), ZERO)
+    # G10 = OR(I2, G8) = 0 -> F2 = 0 at T=1, as in the paper's
+    # multiple-node walkthrough.
+    assert names(c, r.frames[1]).get("F2") == 0
+
+
+def test_equivalence_coupling_copies_values():
+    from repro.circuit import equivalence_demo
+
+    c = equivalence_demo()
+    ga, ge = c.nid("GAND"), c.nid("GEQ")
+    plain = FrameSimulator(c)
+    r0 = plain.inject_single(c.nid("F1"), ONE)
+    assert names(c, r0.frames[0]).get("GAND") == 1
+    assert "GEQ" not in names(c, r0.frames[0])  # 3V-blind
+    coupling = Coupling(equiv={ga: (0, 0), ge: (0, 0)})
+    sim = FrameSimulator(c, coupling)
+    r = sim.inject_single(c.nid("F1"), ONE)
+    frame0 = names(c, r.frames[0])
+    assert frame0.get("GAND") == 1
+    assert frame0.get("GEQ") == 1   # copied by equivalence
+    assert names(c, r.frames[1]).get("F2") == 1
+
+
+def test_equivalence_coupling_complement_polarity():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g1", "buf", "a")
+    b.gate("g2", "not", "a")
+    b.output("g1", "g2")
+    c = b.build()
+    coupling = Coupling(equiv={c.nid("g1"): (0, 0), c.nid("g2"): (0, 1)})
+    sim = FrameSimulator(c, coupling)
+    r = sim.run({0: [(c.nid("g1"), ONE)]})
+    assert names(c, r.frames[0]).get("g2") == 0
+
+
+# ---------------------------------------------------------------------------
+# section 3.3 rules
+# ---------------------------------------------------------------------------
+
+def _ff_circuit(**attrs):
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("d", "buf", "a")
+    b.dff("f", "d", **attrs)
+    b.gate("q", "buf", "f")
+    b.output("q")
+    return b.build()
+
+
+def test_multiport_latch_blocks_propagation():
+    from repro.circuit.gates import GateType
+
+    c = _ff_circuit(gate_type=GateType.LATCH, num_ports=2)
+    sim = FrameSimulator(c)
+    r = sim.inject_single(c.nid("a"), ONE)
+    assert all("f" not in names(c, f) for f in r.frames)
+
+
+def test_both_set_reset_blocks_propagation():
+    c = _ff_circuit(set_kind="unconstrained", reset_kind="unconstrained")
+    sim = FrameSimulator(c)
+    r = sim.inject_single(c.nid("a"), ONE)
+    assert all("f" not in names(c, f) for f in r.frames)
+
+
+@pytest.mark.parametrize("kind,allowed,blocked", [
+    ("set_kind", ONE, ZERO),
+    ("reset_kind", ZERO, ONE),
+])
+def test_partial_set_reset_allows_matching_value(kind, allowed, blocked):
+    c = _ff_circuit(**{kind: "unconstrained"})
+    sim = FrameSimulator(c)
+    r_ok = sim.inject_single(c.nid("a"), allowed)
+    assert names(c, r_ok.frames[1]).get("f") == allowed
+    r_no = sim.inject_single(c.nid("a"), blocked)
+    assert all("f" not in names(c, f) for f in r_no.frames)
+
+
+def test_constrained_set_reset_propagates_both():
+    c = _ff_circuit(set_kind="constrained", reset_kind="constrained")
+    sim = FrameSimulator(c)
+    for value in (ZERO, ONE):
+        r = sim.inject_single(c.nid("a"), value)
+        assert names(c, r.frames[1]).get("f") == value
+
+
+def test_active_ffs_restricts_class():
+    c = _ff_circuit()
+    sim = FrameSimulator(c, active_ffs=set())  # no FF in the class
+    r = sim.inject_single(c.nid("a"), ONE)
+    assert all("f" not in names(c, f) for f in r.frames)
+
+
+# ---------------------------------------------------------------------------
+# oracle simulator
+# ---------------------------------------------------------------------------
+
+def test_simulate_sequence_x_initial_state():
+    c = _ff_circuit()
+    frames = simulate_sequence(c, [{"a": 1}, {}])
+    assert frames[0]["f"] == X
+    assert frames[1]["f"] == 1
+    assert frames[1]["q"] == 1
+
+
+def test_simulate_sequence_init_state():
+    c = _ff_circuit()
+    frames = simulate_sequence(c, [{}], init_state={"f": 1})
+    assert frames[0]["q"] == 1
+
+
+def test_injection_consistent_with_oracle():
+    """Everything the injection simulator derives must match a real run
+    agreeing with the injected values (abstraction soundness)."""
+    import random
+
+    c = figure1()
+    sim = FrameSimulator(c)
+    rng = random.Random(5)
+    inputs = [c.nodes[i].name for i in c.inputs]
+    r = sim.inject_single(c.nid("I2"), ONE, max_frames=4)
+    for _ in range(40):
+        seq = [{n: rng.randint(0, 1) for n in inputs} for _ in range(6)]
+        seq[0]["I2"] = 1
+        init = {c.nodes[f].name: rng.randint(0, 1) for f in c.ffs}
+        oracle = simulate_sequence(c, seq, init_state=init)
+        for t in range(min(len(r.frames), len(seq))):
+            for nid, val in r.frames[t].items():
+                if (t, nid) in r.injected:
+                    continue
+                real = oracle[t][c.nodes[nid].name]
+                assert real == val, (t, c.nodes[nid].name)

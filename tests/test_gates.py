@@ -1,0 +1,132 @@
+"""Three-valued gate evaluation semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.gates import (
+    CONTROLLED_RESPONSE,
+    CONTROLLING_VALUE,
+    GateType,
+    ONE,
+    X,
+    ZERO,
+    eval_gate,
+    gate_function_table,
+    inv,
+    value_name,
+)
+
+BINARY_GATES = [GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                GateType.XOR, GateType.XNOR]
+
+
+def test_inv():
+    assert inv(ZERO) == ONE
+    assert inv(ONE) == ZERO
+    assert inv(X) == X
+
+
+def test_value_names():
+    assert value_name(ZERO) == "0"
+    assert value_name(ONE) == "1"
+    assert value_name(X) == "X"
+
+
+@pytest.mark.parametrize("gate_type,table", [
+    (GateType.AND, [0, 0, 0, 1]),
+    (GateType.NAND, [1, 1, 1, 0]),
+    (GateType.OR, [0, 1, 1, 1]),
+    (GateType.NOR, [1, 0, 0, 0]),
+    (GateType.XOR, [0, 1, 1, 0]),
+    (GateType.XNOR, [1, 0, 0, 1]),
+])
+def test_binary_truth_tables(gate_type, table):
+    for minterm in range(4):
+        a, b = minterm & 1, (minterm >> 1) & 1
+        assert eval_gate(gate_type, [a, b]) == table[minterm]
+
+
+def test_not_buf():
+    assert eval_gate(GateType.NOT, [ZERO]) == ONE
+    assert eval_gate(GateType.NOT, [ONE]) == ZERO
+    assert eval_gate(GateType.NOT, [X]) == X
+    assert eval_gate(GateType.BUF, [ONE]) == ONE
+    assert eval_gate(GateType.BUF, [X]) == X
+
+
+def test_constants():
+    assert eval_gate(GateType.TIE0, []) == ZERO
+    assert eval_gate(GateType.TIE1, []) == ONE
+
+
+def test_controlling_values_dominate_x():
+    assert eval_gate(GateType.AND, [ZERO, X]) == ZERO
+    assert eval_gate(GateType.NAND, [X, ZERO]) == ONE
+    assert eval_gate(GateType.OR, [ONE, X]) == ONE
+    assert eval_gate(GateType.NOR, [X, ONE]) == ZERO
+
+
+def test_x_blocks_noncontrolling():
+    assert eval_gate(GateType.AND, [ONE, X]) == X
+    assert eval_gate(GateType.OR, [ZERO, X]) == X
+    assert eval_gate(GateType.XOR, [ONE, X]) == X
+    assert eval_gate(GateType.XNOR, [X, ZERO]) == X
+
+
+def test_wide_gates():
+    assert eval_gate(GateType.AND, [1, 1, 1, 1, 1]) == 1
+    assert eval_gate(GateType.AND, [1, 1, 0, 1, 1]) == 0
+    assert eval_gate(GateType.NOR, [0, 0, 0, 0]) == 1
+    assert eval_gate(GateType.XOR, [1, 1, 1]) == 1
+    assert eval_gate(GateType.XOR, [1, 1, 1, 1]) == 0
+
+
+def test_eval_sequential_raises():
+    with pytest.raises(ValueError):
+        eval_gate(GateType.DFF, [ONE])
+
+
+def test_controlling_tables_consistent():
+    for gate_type, control in CONTROLLING_VALUE.items():
+        response = CONTROLLED_RESPONSE[gate_type]
+        assert eval_gate(gate_type, [control, X, X]) == response
+
+
+def test_gate_function_table_matches_eval():
+    for gate_type in BINARY_GATES:
+        table = gate_function_table(gate_type, 3)
+        for minterm in range(8):
+            values = [(minterm >> i) & 1 for i in range(3)]
+            assert table[minterm] == eval_gate(gate_type, values)
+
+
+@given(st.sampled_from(BINARY_GATES),
+       st.lists(st.sampled_from([ZERO, ONE, X]), min_size=2, max_size=5))
+def test_x_is_conservative(gate_type, values):
+    """An X output means some completion flips the result (monotonicity).
+
+    Replacing every X with each constant must be consistent with the
+    3-valued result: if the 3-valued output is known, every completion
+    yields that value.
+    """
+    out = eval_gate(gate_type, values)
+    x_positions = [i for i, v in enumerate(values) if v == X]
+    completions = []
+    for bits in itertools.product((ZERO, ONE), repeat=len(x_positions)):
+        concrete = list(values)
+        for pos, bit in zip(x_positions, bits):
+            concrete[pos] = bit
+        completions.append(eval_gate(gate_type, concrete))
+    if out != X:
+        assert all(c == out for c in completions)
+    else:
+        assert len(set(completions)) >= 1  # X is allowed to be imprecise
+
+
+@given(st.lists(st.sampled_from([ZERO, ONE]), min_size=2, max_size=6))
+def test_demorgan(values):
+    left = eval_gate(GateType.NAND, values)
+    right = eval_gate(GateType.OR, [inv(v) for v in values])
+    assert left == right

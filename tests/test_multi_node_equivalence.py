@@ -1,0 +1,165 @@
+"""Multiple-node learning internals and gate-equivalence machinery."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, equivalence_demo, figure1, s27
+from repro.circuit.gates import ONE, ZERO
+from repro.core import (
+    RelationDB,
+    TieSet,
+    build_injections,
+    coupling_from,
+    find_equivalences,
+    run_multi_node,
+    run_single_node,
+    ties_from_single_node,
+    verify_pair,
+)
+from repro.core.equivalence import eval_cone
+from repro.sim import FrameSimulator
+from repro.sim.parallel import exhaustive_masks
+
+
+def test_build_injections_places_contrapositives():
+    # Node value justified by stem 5=1 at offsets 1 and 3, stem 7=0 at 2.
+    justs = [(5, 1, 1), (5, 1, 3), (7, 0, 2)]
+    injections, t_max = build_injections(justs, (9, 1), max_frames=50)
+    assert t_max == 3
+    # offset 1 -> frame 2; offset 3 -> frame 0; offset 2 -> frame 1.
+    assert (5, 0) in injections[2]
+    assert (5, 0) in injections[0]
+    assert (7, 1) in injections[1]
+    # target (9, inv(1)) at frame 3
+    assert (9, 0) in injections[3]
+
+
+def test_build_injections_same_stem_same_frame_dedup():
+    justs = [(5, 1, 2), (5, 1, 2)]
+    injections, t_max = build_injections(justs, (9, 0), max_frames=50)
+    assert t_max == 2
+    assert injections[0].count((5, 0)) == 1
+
+
+def test_multi_node_g15_conflict_path():
+    """Replicate the paper's G15 walkthrough explicitly."""
+    circuit = figure1()
+    simulator = FrameSimulator(circuit, active_ffs=set(circuit.ffs))
+    data = run_single_node(simulator, max_frames=50)
+    ties = ties_from_single_node(data, circuit)
+    from repro.core.ties import propagate_tie_constants
+
+    propagate_tie_constants(circuit, ties)
+    assert circuit.nid("G15") not in ties
+    coupled = FrameSimulator(circuit, coupling_from(ties),
+                             active_ffs=set(circuit.ffs))
+    db = RelationDB(circuit)
+    stats = run_multi_node(coupled, data, db, ties, max_frames=50)
+    assert circuit.nid("G15") in ties
+    assert ties.value_of(circuit.nid("G15")) == 0
+    assert stats.ties_found >= 1
+    assert stats.relations_added > 0
+
+
+def test_multi_node_min_justifications_filter():
+    circuit = figure1()
+    simulator = FrameSimulator(circuit, active_ffs=set(circuit.ffs))
+    data = run_single_node(simulator, max_frames=50)
+    ties = TieSet(circuit)
+    db = RelationDB(circuit)
+    stats = run_multi_node(simulator, data, db, ties, max_frames=50,
+                           min_justifications=100)
+    assert stats.targets_run == 0
+
+
+# ---------------------------------------------------------------------------
+# equivalence
+# ---------------------------------------------------------------------------
+
+def test_verify_pair_equal_and_complement():
+    b = CircuitBuilder()
+    b.inputs("a", "b")
+    b.gate("g1", "and", "a", "b")
+    b.gate("n1", "not", "a")
+    b.gate("n2", "not", "b")
+    b.gate("g2", "nor", "n1", "n2")   # De Morgan: == g1
+    b.gate("g3", "nand", "a", "b")    # complement of g1
+    b.output("g2", "g3")
+    c = b.build()
+    assert verify_pair(c, c.nid("g1"), c.nid("g2")) == 0
+    assert verify_pair(c, c.nid("g1"), c.nid("g3")) == 1
+    assert verify_pair(c, c.nid("g1"), c.nid("n1")) is None
+
+
+def test_verify_pair_support_limit():
+    b = CircuitBuilder()
+    names = [f"i{k}" for k in range(6)]
+    b.inputs(*names)
+    b.gate("g1", "and", *names)
+    b.gate("g2", "and", *names)
+    b.output("g1", "g2")
+    c = b.build()
+    assert verify_pair(c, c.nid("g1"), c.nid("g2"), max_support=6) == 0
+    assert verify_pair(c, c.nid("g1"), c.nid("g2"), max_support=5) is None
+
+
+def test_find_equivalences_classes_and_polarity():
+    b = CircuitBuilder()
+    b.inputs("a", "b")
+    b.gate("g1", "and", "a", "b")
+    b.gate("n1", "not", "a")
+    b.gate("n2", "not", "b")
+    b.gate("g2", "nor", "n1", "n2")
+    b.gate("g3", "nand", "a", "b")
+    b.output("g2", "g3")
+    c = b.build()
+    equiv = find_equivalences(c)
+    g1, g2, g3 = c.nid("g1"), c.nid("g2"), c.nid("g3")
+    assert g1 in equiv and g2 in equiv and g3 in equiv
+    cls = {equiv[g1][0], equiv[g2][0], equiv[g3][0]}
+    assert len(cls) == 1
+    assert equiv[g1][1] == equiv[g2][1]
+    assert equiv[g3][1] != equiv[g1][1]   # complemented member
+
+
+def test_find_equivalences_excludes_tied_gates():
+    circuit = figure1()
+    simulator = FrameSimulator(circuit, active_ffs=set(circuit.ffs))
+    data = run_single_node(simulator, max_frames=10)
+    ties = ties_from_single_node(data, circuit)
+    equiv = find_equivalences(circuit, ties)
+    assert circuit.nid("G3") not in equiv
+    assert circuit.nid("G8") not in equiv
+
+
+def test_equivalence_demo_pair_found():
+    circuit = equivalence_demo()
+    equiv = find_equivalences(circuit)
+    ga, ge = circuit.nid("GAND"), circuit.nid("GEQ")
+    assert ga in equiv and ge in equiv
+    assert equiv[ga][0] == equiv[ge][0]
+    assert equiv[ga][1] == equiv[ge][1]
+
+
+def test_eval_cone_partial_evaluation():
+    circuit = s27()
+    target = circuit.nid("G8")
+    support = circuit.cone_support(target)
+    width = 1 << len(support)
+    masks = eval_cone(circuit, [target],
+                      exhaustive_masks(sorted(support), width), width)
+    assert target in masks
+    # Nodes outside the cone are not evaluated.
+    outside = circuit.nid("G13")
+    assert outside not in masks
+
+
+def test_coupling_from_bundles():
+    circuit = figure1()
+    ties = TieSet(circuit)
+    ties.add(circuit.nid("G3"), 0, sequential=False, phase="single")
+    coupling = coupling_from(ties, {circuit.nid("G4"): (0, 0),
+                                    circuit.nid("G2"): (0, 0)})
+    assert coupling.ties == {circuit.nid("G3"): 0}
+    assert len(coupling.classmates(circuit.nid("G4"))) == 1

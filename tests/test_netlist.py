@@ -1,0 +1,150 @@
+"""Circuit construction, validation and structural queries."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitBuilder, CircuitError, GateType
+from repro.circuit.netlist import Node
+
+
+def small():
+    b = CircuitBuilder("small")
+    b.inputs("a", "b")
+    b.gate("g1", "and", "a", "b")
+    b.gate("g2", "not", "g1")
+    b.dff("f1", "g2")
+    b.gate("g3", "or", "f1", "a")
+    b.output("g3")
+    return b.build()
+
+
+def test_basic_stats():
+    c = small()
+    assert c.stats() == {"nodes": 6, "inputs": 2, "outputs": 1,
+                         "ffs": 1, "gates": 3, "stems": 1}
+    assert c.num_gates == 3
+    assert c.num_ffs == 1
+
+
+def test_name_lookup():
+    c = small()
+    assert c.node("g1").gate_type is GateType.AND
+    assert c.node(c.nid("f1")).is_sequential
+    assert "g1" in c
+    assert "zz" not in c
+    with pytest.raises(CircuitError):
+        c.nid("zz")
+
+
+def test_duplicate_name_rejected():
+    c = Circuit()
+    c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_input("a")
+
+
+def test_arity_validation():
+    c = Circuit()
+    a = c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_gate("bad", GateType.NOT, [a, a])
+    with pytest.raises(CircuitError):
+        c.add_gate("bad2", GateType.AND, [])
+    with pytest.raises(CircuitError):
+        c.add_gate("bad3", GateType.TIE0, [a])
+
+
+def test_sequential_types_enforced():
+    c = Circuit()
+    a = c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_ff("f", a, gate_type=GateType.AND)
+    with pytest.raises(CircuitError):
+        c.add_ff("f", a, set_kind="bogus")
+    with pytest.raises(CircuitError):
+        c.add_ff("f", a, num_ports=0)
+
+
+def test_combinational_cycle_detected():
+    c = Circuit()
+    a = c.add_input("a")
+    g1 = c.add_gate("g1", GateType.AND, [a, a])
+    g2 = c.add_gate("g2", GateType.OR, [g1, g1])
+    c.nodes[g1].fanins = [a, g2]  # create a cycle
+    with pytest.raises(CircuitError, match="cycle"):
+        c.freeze()
+
+
+def test_sequential_loop_is_fine():
+    b = CircuitBuilder("loop")
+    b.inputs("a")
+    b.gate("g", "or", "a", "f")
+    b.dff("f", "g")
+    b.output("g")
+    c = b.build()
+    assert c.level[c.nid("g")] >= 1
+
+
+def test_levelization_orders_fanins_first():
+    c = small()
+    position = {nid: i for i, nid in enumerate(c.topo_order)}
+    for nid in c.topo_order:
+        for fanin in c.nodes[nid].fanins:
+            if c.nodes[fanin].is_combinational:
+                assert position[fanin] < position[nid]
+
+
+def test_fanout_stems():
+    c = small()
+    stems = {c.nodes[s].name for s in c.fanout_stems()}
+    assert stems == {"a"}
+
+
+def test_transitive_fanout_crosses_ffs():
+    c = small()
+    fanout = {c.nodes[n].name for n in c.transitive_fanout(c.nid("g1"))}
+    assert fanout == {"g2", "f1", "g3"}
+
+
+def test_cone_support():
+    c = small()
+    support = {c.nodes[n].name for n in c.cone_support(c.nid("g3"))}
+    assert support == {"f1", "a"}
+    support_g2 = {c.nodes[n].name for n in c.cone_support(c.nid("g2"))}
+    assert support_g2 == {"a", "b"}
+
+
+def test_domain_key_distinguishes_latch():
+    ff = Node(0, "f", GateType.DFF)
+    latch = Node(1, "l", GateType.LATCH)
+    assert ff.domain_key() != latch.domain_key()
+    assert ff.domain_key()[0] == "clk"
+
+
+def test_frozen_circuit_rejects_construction():
+    c = small()
+    with pytest.raises(CircuitError):
+        c.add_input("new")
+
+
+def test_mark_output_idempotent():
+    c = Circuit()
+    a = c.add_input("a")
+    g = c.add_gate("g", GateType.BUF, [a])
+    c.mark_output(g)
+    c.mark_output(g)
+    assert c.outputs == [g]
+
+
+def test_ff_needs_exactly_one_fanin():
+    c = Circuit()
+    a = c.add_input("a")
+    c.add_ff("f")  # no data bound
+    with pytest.raises(CircuitError):
+        c.freeze()
+
+
+def test_ff_mask():
+    c = small()
+    mask = c.ff_mask()
+    assert mask[c.nid("f1")] is True
+    assert mask[c.nid("g1")] is False

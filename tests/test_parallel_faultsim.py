@@ -1,0 +1,206 @@
+"""Bit-parallel pattern simulation and the parallel fault simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder, figure2, random_circuit, s27
+from repro.circuit.gates import ONE, X, ZERO
+from repro.atpg.faults import Fault, full_fault_list
+from repro.sim import (
+    FaultSimulator,
+    exhaustive_masks,
+    fault_coverage,
+    fault_simulate,
+    pack_patterns,
+    signatures,
+    simulate_patterns,
+    simulate_sequence,
+)
+
+
+def test_signatures_match_scalar_simulation():
+    c = s27()
+    rng = random.Random(3)
+    width = 32
+    vectors = []
+    for _ in range(width):
+        vec = {c.nodes[i].name: rng.randint(0, 1) for i in c.inputs}
+        vec.update({c.nodes[f].name: rng.randint(0, 1) for f in c.ffs})
+        vectors.append(vec)
+    masks = simulate_patterns(c, pack_patterns(c, vectors), width)
+    for i, vec in enumerate(vectors):
+        frame = simulate_sequence(c, [vec], init_state={
+            k: v for k, v in vec.items() if k.startswith("G") and
+            c.node(k).is_sequential})[0]
+        for node in c.nodes:
+            if not node.is_combinational:
+                continue
+            expected = frame[node.name]
+            got = (masks[node.nid] >> i) & 1
+            assert got == expected, (node.name, i)
+
+
+def test_exhaustive_masks_enumerate_minterms():
+    masks = exhaustive_masks([10, 20], 4)
+    assert masks[10] == 0b1010  # bit i set iff (i >> 0) & 1
+    assert masks[20] == 0b1100
+
+
+def test_signatures_deterministic():
+    c = s27()
+    assert signatures(c, 64, random.Random(1)) == \
+        signatures(c, 64, random.Random(1))
+
+
+# ---------------------------------------------------------------------------
+# fault simulation
+# ---------------------------------------------------------------------------
+
+def _buf_chain():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g1", "buf", "a")
+    b.gate("g2", "not", "g1")
+    b.output("g2")
+    return b.build()
+
+
+def test_output_fault_detected():
+    c = _buf_chain()
+    faults = [Fault(c.nid("g1"), None, ZERO)]
+    hit = fault_simulate(c, [{"a": 1}], faults)
+    assert hit == {0}
+    # a=0 cannot excite s-a-0
+    assert fault_simulate(c, [{"a": 0}], faults) == set()
+
+
+def test_x_inputs_block_detection():
+    c = _buf_chain()
+    faults = [Fault(c.nid("g1"), None, ZERO)]
+    assert fault_simulate(c, [{}], faults) == set()
+
+
+def test_branch_fault_vs_stem_fault():
+    """A branch fault only affects its own gate, the stem fault both."""
+    b = CircuitBuilder()
+    b.inputs("a", "s")
+    b.gate("stem", "buf", "a")
+    b.gate("g1", "and", "stem", "s")
+    b.gate("g2", "or", "stem", "s")
+    b.output("g1", "g2")
+    c = b.build()
+    branch_g1 = Fault(c.nid("g1"), 0, ZERO)
+    stem = Fault(c.nid("stem"), None, ZERO)
+    vec = [{"a": 1, "s": 1}]
+    hits = fault_simulate(c, vec, [branch_g1, stem])
+    assert hits == {0, 1}
+    # With s=0, g1's output is 0 anyway: only the stem fault shows (at g2).
+    vec2 = [{"a": 1, "s": 0}]
+    hits2 = fault_simulate(c, vec2, [branch_g1, stem])
+    assert hits2 == {1}
+
+
+def test_sequential_fault_needs_frames():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("d", "buf", "a")
+    b.dff("f", "d")
+    b.gate("q", "not", "f")
+    b.output("q")
+    c = b.build()
+    fault = Fault(c.nid("d"), None, ZERO)
+    # One frame: effect sits in the FF, not yet at the output.
+    assert fault_simulate(c, [{"a": 1}], [fault]) == set()
+    # Two frames: effect reaches the PO.
+    assert fault_simulate(c, [{"a": 1}, {"a": 0}], [fault]) == {0}
+
+
+def test_ff_input_pin_fault():
+    b = CircuitBuilder()
+    b.inputs("a", "b")
+    b.gate("stem", "and", "a", "b")
+    b.dff("f", "stem")
+    b.gate("g", "buf", "stem")
+    b.gate("q", "buf", "f")
+    b.output("q", "g")
+    c = b.build()
+    pin_fault = Fault(c.nid("f"), 0, ZERO)
+    seq = [{"a": 1, "b": 1}, {"a": 0, "b": 0}]
+    assert fault_simulate(c, seq, [pin_fault]) == {0}
+
+
+def test_fault_coverage_accumulates():
+    c = s27()
+    faults = full_fault_list(c)
+    rng = random.Random(0)
+    inputs = [c.nodes[i].name for i in c.inputs]
+    seqs = [[{n: rng.randint(0, 1) for n in inputs} for _ in range(12)]
+            for _ in range(20)]
+    cov = fault_coverage(c, seqs, faults)
+    assert 0.5 < cov <= 1.0
+
+
+def _serial_reference(circuit, sequence, fault):
+    """Oracle: simulate an explicitly mutated faulty circuit."""
+    from repro.circuit.gates import GateType, eval_gate
+
+    state = {}
+    outs = []
+    for vector in sequence:
+        values = {}
+        for pid in circuit.inputs:
+            values[pid] = vector.get(circuit.nodes[pid].name, X)
+        for fid in circuit.ffs:
+            values[fid] = state.get(fid, X)
+        if fault.pin is None and (circuit.nodes[fault.node].is_input or
+                                  circuit.nodes[fault.node].is_sequential):
+            values[fault.node] = fault.value
+        for nid in circuit.topo_order:
+            node = circuit.nodes[nid]
+            fanins = []
+            for pin, f in enumerate(node.fanins):
+                if fault.pin == pin and fault.node == nid:
+                    fanins.append(fault.value)
+                else:
+                    fanins.append(values.get(f, X))
+            out = eval_gate(node.gate_type, fanins)
+            if fault.pin is None and fault.node == nid:
+                out = fault.value
+            values[nid] = out
+        outs.append({circuit.nodes[o].name: values[o]
+                     for o in circuit.outputs})
+        state = {}
+        for fid in circuit.ffs:
+            node = circuit.nodes[fid]
+            if fault.pin == 0 and fault.node == fid:
+                state[fid] = fault.value
+            else:
+                data = values.get(node.fanins[0], X)
+                state[fid] = fault.value \
+                    if (fault.pin is None and fault.node == fid) else data
+        if fault.pin is None and fault.node in circuit.ffs:
+            state[fault.node] = fault.value
+    return outs
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(0, 10_000))
+def test_parallel_fault_sim_matches_serial(circuit_seed, stim_seed):
+    """Property: the packed simulator equals a per-fault serial oracle."""
+    circuit = random_circuit("prop", n_inputs=3, n_outputs=2, n_ffs=3,
+                             n_gates=14, seed=circuit_seed)
+    rng = random.Random(stim_seed)
+    inputs = [circuit.nodes[i].name for i in circuit.inputs]
+    sequence = [{n: rng.randint(0, 1) for n in inputs} for _ in range(5)]
+    faults = full_fault_list(circuit)[:24]
+    hits = fault_simulate(circuit, sequence, faults, width=8)
+    good = simulate_sequence(circuit, sequence)
+    for i, fault in enumerate(faults):
+        faulty_outs = _serial_reference(circuit, sequence, fault)
+        serial_detects = any(
+            good[t][name] != X and faulty_outs[t][name] != X and
+            good[t][name] != faulty_outs[t][name]
+            for t in range(len(sequence)) for name in faulty_outs[t])
+        assert serial_detects == (i in hits), fault

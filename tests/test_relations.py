@@ -1,0 +1,148 @@
+"""Relation database: canonical form, dedup, domains, queries."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, figure1
+from repro.circuit.gates import ONE, ZERO
+from repro.core.relations import RelationDB, canonical
+
+
+def db_circuit():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g1", "buf", "a")
+    b.gate("g2", "not", "a")
+    b.dff("f1", "g1")
+    b.dff("f2", "g2")
+    b.dff("f3", "g1", clock="other")
+    b.output("g1")
+    return b.build()
+
+
+def test_canonical_is_contrapositive_invariant():
+    key1 = canonical(3, 1, 7, 0)
+    key2 = canonical(7, 1, 3, 0)  # contrapositive of the first
+    assert key1 == key2
+    assert canonical(3, 0, 7, 1) == canonical(7, 0, 3, 1)
+
+
+def test_add_and_dedup():
+    c = db_circuit()
+    db = RelationDB(c)
+    f1, f2 = c.nid("f1"), c.nid("f2")
+    assert db.add(f1, 1, f2, 0)
+    assert not db.add(f1, 1, f2, 0)          # exact duplicate
+    assert not db.add(f2, 1, f1, 0)          # contrapositive duplicate
+    assert len(db) == 1
+
+
+def test_self_relation_rejected():
+    c = db_circuit()
+    db = RelationDB(c)
+    assert not db.add(c.nid("f1"), 1, c.nid("f1"), 0)
+
+
+def test_cross_domain_ff_pair_rejected():
+    """Paper section 3.3.2: relations across clock classes are invalid."""
+    c = db_circuit()
+    db = RelationDB(c)
+    assert not db.add(c.nid("f1"), 1, c.nid("f3"), 0)
+    assert db.add(c.nid("f1"), 1, c.nid("f2"), 0)  # same class is fine
+    # Gate-FF across is fine (gates are not clocked).
+    assert db.add(c.nid("g1"), 1, c.nid("f3"), 1)
+
+
+def test_implication_lookup_both_directions():
+    c = db_circuit()
+    db = RelationDB(c)
+    f1, f2 = c.nid("f1"), c.nid("f2")
+    db.add(f1, 1, f2, 0)
+    assert (f2, 0) in db.implications_of(f1, 1)
+    # Contrapositive: f2=1 -> f1=0.
+    assert (f1, 0) in db.implications_of(f2, 1)
+    assert db.implications_of(f1, 0) == []
+
+
+def test_warmup_respected_and_tightened():
+    c = db_circuit()
+    db = RelationDB(c)
+    f1, f2 = c.nid("f1"), c.nid("f2")
+    db.add(f1, 1, f2, 0, warmup=3)
+    assert db.implications_at(f1, 1, 2) == []
+    assert (f2, 0) in db.implications_at(f1, 1, 3)
+    # Re-learning the same fact earlier tightens the warm-up.
+    db.add(f1, 1, f2, 0, warmup=1)
+    assert (f2, 0) in db.implications_at(f1, 1, 1)
+
+
+def test_closure():
+    c = db_circuit()
+    db = RelationDB(c)
+    f1, f2, g1 = c.nid("f1"), c.nid("f2"), c.nid("g1")
+    db.add(f1, 1, f2, 0)
+    db.add(f2, 0, g1, 1)
+    closure = db.closure_of(f1, 1)
+    assert closure == {f2: 0, g1: 1}
+
+
+def test_closure_contradiction_raises():
+    c = db_circuit()
+    db = RelationDB(c)
+    f1, f2, g1 = c.nid("f1"), c.nid("f2"), c.nid("g1")
+    db.add(f1, 1, f2, 0)
+    db.add(f1, 1, g1, 0)
+    db.add(f2, 0, g1, 1)
+    with pytest.raises(ValueError):
+        db.closure_of(f1, 1)
+
+
+def test_kind_classification_and_counts():
+    c = db_circuit()
+    db = RelationDB(c)
+    db.add(c.nid("f1"), 1, c.nid("f2"), 0)            # ff_ff
+    db.add(c.nid("g1"), 1, c.nid("f2"), 0)            # gate_ff
+    db.add(c.nid("g1"), 0, c.nid("g2"), 1)            # gate_gate
+    counts = db.counts()
+    assert counts == {"ff_ff": 1, "gate_ff": 1, "gate_gate": 1}
+    assert len(db.invalid_state_relations()) == 1
+
+
+def test_sequential_only_counts():
+    c = db_circuit()
+    db = RelationDB(c)
+    db.add(c.nid("f1"), 1, c.nid("f2"), 0, sequential=False, warmup=0)
+    db.add(c.nid("g1"), 1, c.nid("f2"), 0, sequential=True)
+    assert db.counts(sequential_only=True) == {
+        "ff_ff": 0, "gate_ff": 1, "gate_gate": 0}
+
+
+def test_has_by_name_and_contains():
+    c = db_circuit()
+    db = RelationDB(c)
+    db.add(c.nid("f1"), 1, c.nid("f2"), 0)
+    assert db.has("f1", 1, "f2", 0)
+    assert db.has("f2", 1, "f1", 0)   # contrapositive
+    assert not db.has("f1", 0, "f2", 0)
+    assert (c.nid("f1"), 1, c.nid("f2"), 0) in db
+
+
+def test_violated_by():
+    c = db_circuit()
+    db = RelationDB(c)
+    f1, f2 = c.nid("f1"), c.nid("f2")
+    db.add(f1, 1, f2, 0, warmup=2)
+    assert db.violated_by({f1: 1, f2: 1}) is not None
+    assert db.violated_by({f1: 1, f2: 0}) is None
+    assert db.violated_by({f1: 0, f2: 1}) is None
+    # Warm-up: at frame 1 the relation is not yet binding.
+    assert db.violated_by({f1: 1, f2: 1}, frame=1) is None
+    assert db.violated_by({f1: 1, f2: 1}, frame=2) is not None
+
+
+def test_dump_readable():
+    c = figure1()
+    db = RelationDB(c)
+    db.add(c.nid("F6"), 1, c.nid("F4"), 0)
+    lines = db.dump()
+    assert len(lines) == 1
+    assert "F4" in lines[0] and "F6" in lines[0]

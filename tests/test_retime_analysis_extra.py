@@ -1,0 +1,121 @@
+"""Extra retiming + analysis coverage: attribute preservation, guards."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    industrial_like,
+    retimable_ffs,
+    retime_backward,
+    retime_circuit,
+    s27,
+)
+from repro.circuit.netlist import CircuitError
+
+
+def test_retime_preserves_seq_attributes():
+    circuit = industrial_like(n_ffs=12, n_gates=80, seed=5)
+    candidates = retimable_ffs(circuit)
+    if not candidates:
+        pytest.skip("no retimable FF in this seed")
+    retimed = retime_backward(circuit, candidates[0])
+    # Untouched FFs keep their clock/set/reset attributes.
+    for fid in retimed.ffs:
+        node = retimed.nodes[fid]
+        if node.name in circuit and circuit.node(node.name).is_sequential:
+            original = circuit.node(node.name)
+            assert node.clock == original.clock
+            assert node.set_kind == original.set_kind
+            assert node.num_ports == original.num_ports
+
+
+def test_retime_new_registers_inherit_clock():
+    b = CircuitBuilder()
+    b.inputs("a", "b")
+    b.gate("g", "and", "a", "b")
+    b.dff("f", "g", clock="clkZ", phase=1)
+    b.gate("q", "buf", "f")
+    b.output("q")
+    circuit = b.build()
+    retimed = retime_backward(circuit, "f")
+    new_regs = [retimed.nodes[fid] for fid in retimed.ffs]
+    assert all(reg.clock == "clkZ" and reg.phase == 1 for reg in new_regs)
+
+
+def test_retime_shared_fanin_shares_register():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g", "xor", "a", "na")
+    b.gate("na", "not", "a")
+    b.dff("f", "g")
+    b.gate("q", "buf", "f")
+    b.output("q")
+    circuit = b.build()
+    retimed = retime_backward(circuit, "f")
+    # Two distinct fanins -> two registers, replacing one.
+    assert retimed.num_ffs == 2
+
+
+def test_retime_rejects_self_loop_driver():
+    b = CircuitBuilder()
+    b.inputs("a")
+    b.gate("g", "or", "a", "f")
+    b.dff("f", "g")
+    b.output("g")
+    circuit = b.build()
+    with pytest.raises(ValueError):
+        retime_backward(circuit, "f")
+
+
+def test_retime_rejects_not_an_ff():
+    with pytest.raises(ValueError):
+        retime_backward(s27(), "G14")
+
+
+def test_retime_circuit_name_and_seeded_shuffle():
+    base = s27()
+    a = retime_circuit(base, moves=2, seed=1, name="rtA")
+    assert a.name == "rtA"
+    b = retime_circuit(base, moves=2, seed=1)
+    assert a.num_ffs == b.num_ffs
+
+
+# ---------------------------------------------------------------------------
+# analysis extras
+# ---------------------------------------------------------------------------
+
+def test_transition_matches_simulator():
+    import random
+
+    from repro.analysis.reachability import _transition
+    from repro.sim import simulate_sequence
+
+    circuit = s27()
+    rng = random.Random(4)
+    for _ in range(30):
+        state = tuple(rng.randint(0, 1) for _ in circuit.ffs)
+        vector = tuple(rng.randint(0, 1) for _ in circuit.inputs)
+        nxt = _transition(circuit, state, vector)
+        init = {circuit.nodes[f].name: v
+                for f, v in zip(circuit.ffs, state)}
+        vec = {circuit.nodes[i].name: v
+               for i, v in zip(circuit.inputs, vector)}
+        frames = simulate_sequence(circuit, [vec, {}], init_state=init)
+        expected = tuple(frames[1][circuit.nodes[f].name]
+                         for f in circuit.ffs)
+        assert nxt == expected
+
+
+def test_valid_states_closed_under_transition():
+    from itertools import product
+
+    from repro.analysis import analyze_state_space
+    from repro.analysis.reachability import _transition
+
+    circuit = s27()
+    space = analyze_state_space(circuit)
+    vectors = list(product((0, 1), repeat=len(circuit.inputs)))
+    for state in space.valid_states:
+        for vector in vectors:
+            assert _transition(circuit, state, vector) in \
+                space.valid_states
