@@ -17,6 +17,7 @@ from conftest import emit_table, once
 from repro.circuit import figure1, iscas_like, retime_circuit
 from repro.core import learn
 from repro.atpg import run_atpg
+from repro.flow import ATPGConfig
 
 # Fault caps and limits are sized so the whole protocol (4 circuits x
 # 2 limits x 3 modes) finishes in a few minutes of pure Python; raise
@@ -40,9 +41,11 @@ def _rows():
         for limit in BACKTRACK_LIMITS:
             for mode, use in (("none", None), ("forbidden", learned),
                               ("known", learned)):
-                stats = run_atpg(circuit, learned=use, mode=mode,
-                                 backtrack_limit=limit, max_frames=5,
-                                 max_faults=max_faults)
+                # keep_sequences=False: table rows only need counts, so
+                # the generated vectors are dropped as they are graded.
+                config = ATPGConfig(mode=mode, backtrack_limit=limit,
+                                    max_frames=5, max_faults=max_faults)
+                stats = run_atpg(circuit, learned=use, config=config)
                 rows.append({
                     "circuit": name,
                     "bt_limit": limit,

@@ -4,7 +4,17 @@ them to speed up sequential ATPG.
 Run:  python examples/quickstart.py
 """
 
-from repro import figure1, learn, run_atpg
+import os
+import tempfile
+
+from repro import (
+    ATPGConfig,
+    ReproConfig,
+    Session,
+    figure1,
+    learn,
+    run_atpg,
+)
 
 
 def main() -> None:
@@ -43,6 +53,22 @@ def main() -> None:
               f"  aborted={stats.aborted:2d}"
               f"  test-coverage={100 * stats.test_coverage:5.1f}%"
               f"  cpu={stats.cpu_s:5.2f}s")
+
+    # --- The same pipeline via the Session API ------------------------
+    # Learn once, save the artifact, reuse it without relearning: this
+    # is the canonical flow (and what `repro learn --save` / `repro atpg
+    # --learned` run under the hood).
+    print("\nSession pipeline (learn once, reuse the artifact):")
+    session = Session("figure1",
+                      ReproConfig(atpg=ATPGConfig(mode="known")))
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = os.path.join(tmp, "figure1.learn.json")
+        session.save_learned(artifact)
+
+        rerun = Session("figure1",
+                        ReproConfig(atpg=ATPGConfig(mode="known")))
+        rerun.load_learned(artifact)         # learning stage skipped
+        print(f"  {rerun.atpg().row()}")
 
 
 if __name__ == "__main__":

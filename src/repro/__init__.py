@@ -4,19 +4,30 @@ A from-scratch Python reproduction of El-Maleh, Kassab and Rajski, "A
 Fast Sequential Learning Technique for Real Circuits with Application to
 Enhancing ATPG Performance" (DAC 1998).
 
-Quickstart::
+The canonical flow is the :class:`repro.flow.Session` pipeline -- learn
+once, persist the artifact, reuse it across ATPG runs::
 
-    from repro import figure1, learn, run_atpg
+    from repro import Session, ReproConfig, ATPGConfig
 
-    circuit = figure1()
-    learned = learn(circuit)
+    session = Session("figure1")
+    learned = session.learn()                # cached stage
     print(learned.summary())                 # relations, ties, CPU
-    stats = run_atpg(circuit, learned=learned, mode="forbidden",
-                     backtrack_limit=30)
+    session.save_learned("figure1.json")     # JSON artifact
+
+    rerun = Session("figure1",
+                    ReproConfig(atpg=ATPGConfig(mode="forbidden")))
+    rerun.load_learned("figure1.json")       # skip relearning
+    stats = rerun.atpg()                     # uses the artifact
     print(stats.row())                       # det / untest / CPU
+
+The same pipeline drives the CLI: ``repro learn figure1 --save f.json``
+then ``repro atpg figure1 --learned f.json --json``.  The original free
+functions (:func:`learn`, :func:`run_atpg`, ...) remain available as the
+underlying primitives.
 
 Packages:
 
+* :mod:`repro.flow` -- sessions, typed configs, serializable artifacts
 * :mod:`repro.circuit` -- netlists, bench IO, built-ins, generator, retiming
 * :mod:`repro.sim` -- event-driven 3-valued, bit-parallel, fault simulation
 * :mod:`repro.core` -- the paper's sequential learning engine
@@ -53,8 +64,23 @@ from .atpg import (
 )
 from .analysis import analyze_state_space
 from .sim import FrameSimulator, fault_simulate, simulate_sequence
+from .flow import (
+    ATPGConfig,
+    ArtifactError,
+    CircuitResolveError,
+    ConfigError,
+    ReproConfig,
+    Session,
+    StaleArtifactError,
+    SuiteReport,
+    circuit_fingerprint,
+    load_learn_result,
+    resolve_circuit,
+    run_suite,
+    save_learn_result,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit", "CircuitBuilder", "GateType",
@@ -66,5 +92,9 @@ __all__ = [
     "compare_untestable", "fires_untestable", "run_atpg",
     "analyze_state_space",
     "FrameSimulator", "fault_simulate", "simulate_sequence",
+    "ATPGConfig", "ArtifactError", "CircuitResolveError", "ConfigError",
+    "ReproConfig", "Session", "StaleArtifactError", "SuiteReport",
+    "circuit_fingerprint", "load_learn_result", "resolve_circuit",
+    "run_suite", "save_learn_result",
     "__version__",
 ]

@@ -48,6 +48,10 @@ class ATPGStats:
     decisions: int = 0
     backtracks: int = 0
     cpu_s: float = 0.0
+    #: Number of test sequences generated (counted even when the vectors
+    #: themselves are discarded via ``keep_sequences=False``).
+    sequences_total: int = 0
+    #: The generated vectors; empty when the run discarded them.
     sequences: List[List[Dict[str, int]]] = field(default_factory=list)
 
     @property
@@ -71,18 +75,21 @@ class ATPGStats:
             "untest": self.untestable,
             "aborted": self.aborted,
             "test_cov_%": round(100.0 * self.test_coverage, 2),
+            "sequences": self.sequences_total,
             "cpu_s": round(self.cpu_s, 3),
         }
 
 
 def run_atpg(circuit: Circuit, *,
              learned: Optional[LearnResult] = None,
+             config=None,
              mode: str = "none",
              backtrack_limit: int = 30,
              max_frames: int = 10,
              faults: Optional[Sequence[Fault]] = None,
              fill_seed: int = 12345,
-             max_faults: Optional[int] = None) -> ATPGStats:
+             max_faults: Optional[int] = None,
+             keep_sequences: bool = True) -> ATPGStats:
     """Generate tests for every fault; returns aggregate statistics.
 
     ``mode`` is 'none' (no sequential learning), 'known' or 'forbidden'
@@ -90,7 +97,21 @@ def run_atpg(circuit: Circuit, *,
     for the learning modes and is also used (in every mode it is present)
     to pre-mark tie-gate untestable faults -- pass ``learned=None`` for
     the paper's true no-learning baseline.
+
+    ``config`` bundles every knob except ``learned``/``faults`` into one
+    object (an :class:`repro.flow.ATPGConfig`); when given it overrides
+    the individual keyword arguments.  ``keep_sequences=False`` discards
+    generated vectors after fault simulation (suite runs over large
+    circuits would otherwise hold every test in memory);
+    :attr:`ATPGStats.sequences_total` counts them either way.
     """
+    if config is not None:
+        mode = config.mode
+        backtrack_limit = config.backtrack_limit
+        max_frames = config.max_frames
+        fill_seed = config.fill_seed
+        max_faults = config.max_faults
+        keep_sequences = config.keep_sequences
     start = time.perf_counter()
     classes = None
     if faults is None:
@@ -128,7 +149,9 @@ def run_atpg(circuit: Circuit, *,
         stats.backtracks += result.backtracks
         if result.status == "detected":
             sequence = _fill_sequence(result.sequence, input_names, rng)
-            stats.sequences.append(sequence)
+            stats.sequences_total += 1
+            if keep_sequences:
+                stats.sequences.append(sequence)
             status[index] = "detected"
             # Drop everything else this sequence detects.
             open_indices = [i for i in remaining if status.get(i) is None]
@@ -173,15 +196,25 @@ def _fill_sequence(sequence: List[Dict[str, int]],
 
 
 def compare_modes(circuit: Circuit, learned: LearnResult, *,
-                  backtrack_limits: Sequence[int] = (30, 1000),
+                  config=None,
+                  backtrack_limits: Optional[Sequence[int]] = None,
                   max_frames: int = 10,
                   max_faults: Optional[int] = None
                   ) -> List[ATPGStats]:
     """The full Table-5 protocol for one circuit.
 
     Runs no-learning, forbidden-value and known-value ATPG at every
-    backtrack limit and returns the stats in table order.
+    backtrack limit and returns the stats in table order.  ``config``
+    (an :class:`repro.flow.ATPGConfig`) supplies the per-run knobs; its
+    ``backtrack_limit`` seeds a single-entry ``backtrack_limits`` unless
+    that argument is passed explicitly.
     """
+    if config is not None:
+        max_frames = config.max_frames
+        max_faults = config.max_faults
+    if backtrack_limits is None:
+        backtrack_limits = ((config.backtrack_limit,) if config
+                            else (30, 1000))
     rows = []
     for limit in backtrack_limits:
         for mode, use_learned in (("none", None), ("forbidden", learned),
@@ -189,5 +222,7 @@ def compare_modes(circuit: Circuit, learned: LearnResult, *,
             rows.append(run_atpg(
                 circuit, learned=use_learned, mode=mode,
                 backtrack_limit=limit, max_frames=max_frames,
-                max_faults=max_faults))
+                max_faults=max_faults,
+                fill_seed=config.fill_seed if config else 12345,
+                keep_sequences=config.keep_sequences if config else True))
     return rows

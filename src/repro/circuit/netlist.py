@@ -16,6 +16,7 @@ attributes:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -314,6 +315,27 @@ class Circuit:
         """PIs and FF outputs feeding the combinational cone of ``nid``."""
         return [i for i in self.combinational_fanin_cone(nid)
                 if self.nodes[i].is_input or self.nodes[i].is_sequential]
+
+    def fingerprint(self) -> str:
+        """Stable structural hash of the netlist.
+
+        Covers node names, gate types, fanin wiring, output markings and
+        all sequential-element attributes -- everything learned knowledge
+        depends on -- but *not* the circuit's display name, so a renamed
+        copy of the same netlist still matches.  Serialized learning
+        artifacts are keyed to this hash and rejected when it changes.
+        """
+        hasher = hashlib.sha256()
+        for node in self.nodes:
+            parts = [node.name, node.gate_type.value,
+                     ",".join(str(fi) for fi in node.fanins),
+                     "o" if node.is_output else "-"]
+            if node.is_sequential:
+                parts += [node.clock, str(node.phase), node.set_kind,
+                          node.reset_kind, str(node.num_ports)]
+            hasher.update("|".join(parts).encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
     def stats(self) -> Dict[str, int]:
         """Summary statistics used by reports and benches."""

@@ -1,78 +1,115 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
 
 Commands
 --------
-learn CIRCUIT        run sequential learning, print relations/ties
-atpg CIRCUIT         run the three-mode ATPG comparison
+learn CIRCUIT        run sequential learning; ``--save FILE`` persists it
+atpg CIRCUIT         ATPG comparison; ``--learned FILE`` skips relearning
+suite CIRCUIT...     batch pipeline over many circuits (JSON report)
 untestable CIRCUIT   tie-gate vs FIRES untestability comparison
 analyze CIRCUIT      density of encoding (small circuits)
 stats CIRCUIT        structural statistics
 list                 list built-in circuit names
 
+Every command takes ``--json`` for machine-readable output on stdout.
 CIRCUIT is a built-in name (``figure1``, ``s27``, ...), a profile name
 prefixed with ``like:`` (``like:s382`` or ``like:s382@0.5``), or a path
 to an ISCAS-89 ``.bench`` file.
+
+The commands are thin wrappers over :class:`repro.flow.Session`; use
+that API directly from Python.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis import analyze_state_space
-from .atpg import compare_untestable, run_atpg
-from .circuit import (
-    BUILTIN,
-    builtin_names,
-    get_builtin,
-    iscas_like,
-    load_bench,
-    retime_circuit,
-)
 from .circuit.netlist import Circuit
-from .core import LearnConfig, learn
+from .core import LearnConfig
+from .flow import (
+    ATPG_MODES,
+    ArtifactError,
+    ATPGConfig,
+    CircuitResolveError,
+    ConfigError,
+    ReproConfig,
+    Session,
+    run_suite,
+)
+from .flow.session import resolve_circuit as _resolve_circuit
 
 
 def resolve_circuit(spec: str, retime: int = 0) -> Circuit:
-    """Turn a CLI circuit spec into a Circuit."""
-    if spec in BUILTIN:
-        circuit = get_builtin(spec)
-    elif spec.startswith("like:"):
-        body = spec[len("like:"):]
-        if "@" in body:
-            name, scale = body.split("@", 1)
-            circuit = iscas_like(name, scale=float(scale))
-        else:
-            circuit = iscas_like(body)
+    """Turn a CLI circuit spec into a Circuit (SystemExit on bad specs)."""
+    try:
+        return _resolve_circuit(spec, retime)
+    except CircuitResolveError as exc:
+        raise SystemExit(f"repro: error: {exc}") from exc
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=1, sort_keys=False))
+
+
+def _session(args, learn_config: Optional[LearnConfig] = None,
+             atpg_config: Optional[ATPGConfig] = None) -> Session:
+    config = ReproConfig(learn=learn_config or LearnConfig(),
+                         atpg=atpg_config or ATPGConfig(),
+                         retime=getattr(args, "retime", 0))
+    return Session(args.circuit, config=config)
+
+
+def _cmd_list(args) -> int:
+    from .circuit import builtin_names
+
+    names = builtin_names()
+    if args.json:
+        _print_json({"command": "list", "circuits": names})
     else:
-        circuit = load_bench(spec)
-    if retime:
-        circuit = retime_circuit(circuit, moves=retime,
-                                 name=circuit.name + "_retimed")
-    return circuit
-
-
-def _cmd_list(_args) -> int:
-    for name in builtin_names():
-        print(name)
+        for name in names:
+            print(name)
     return 0
 
 
 def _cmd_stats(args) -> int:
     circuit = resolve_circuit(args.circuit, args.retime)
-    print(f"{circuit.name}: {circuit.stats()}")
+    if args.json:
+        _print_json({"command": "stats", "circuit": circuit.name,
+                     "fingerprint": circuit.fingerprint(),
+                     **circuit.stats()})
+    else:
+        print(f"{circuit.name}: {circuit.stats()}")
     return 0
 
 
 def _cmd_learn(args) -> int:
-    circuit = resolve_circuit(args.circuit, args.retime)
-    config = LearnConfig(max_frames=args.max_frames,
-                         use_multi_node=not args.no_multi,
-                         use_equivalence=not args.no_equiv)
-    result = learn(circuit, config)
+    session = _session(args, learn_config=LearnConfig(
+        max_frames=args.max_frames,
+        use_multi_node=not args.no_multi,
+        use_equivalence=not args.no_equiv))
+    result = session.learn()
+    if args.save:
+        session.save_learned(args.save)
+    violations: Optional[List[str]] = None
+    if args.validate:
+        violations = result.validate(n_sequences=args.validate)
+    if args.json:
+        payload = {"command": "learn", **session.report()}
+        if args.save:
+            payload["artifact"] = args.save
+        if violations is not None:
+            payload["validation"] = {"sequences": args.validate,
+                                     "violations": violations}
+        _print_json(payload)
+        return 1 if violations else 0
     print("summary:", result.summary())
+    if args.save:
+        print(f"saved learning artifact to {args.save}")
     if args.verbose:
+        circuit = session.circuit
         print("\nties:")
         for tie in result.ties.all():
             kind = "seq" if tie.sequential else "comb"
@@ -81,8 +118,7 @@ def _cmd_learn(args) -> int:
         print("\nrelations:")
         for line in result.relations.dump():
             print(f"  {line}")
-    if args.validate:
-        violations = result.validate(n_sequences=args.validate)
+    if violations is not None:
         print(f"\nvalidation: {len(violations)} violations")
         for violation in violations[:10]:
             print(f"  {violation}")
@@ -91,31 +127,92 @@ def _cmd_learn(args) -> int:
 
 
 def _cmd_atpg(args) -> int:
-    circuit = resolve_circuit(args.circuit, args.retime)
-    learned = learn(circuit, LearnConfig(max_frames=args.max_frames))
-    print(f"learning: {learned.summary()}\n")
-    for mode, use in (("none", None), ("forbidden", learned),
-                      ("known", learned)):
-        stats = run_atpg(circuit, learned=use, mode=mode,
-                         backtrack_limit=args.backtrack_limit,
-                         max_frames=args.window,
-                         max_faults=args.max_faults)
-        print(f"mode={mode:9s} {stats.row()}")
+    session = _session(
+        args,
+        learn_config=LearnConfig(max_frames=args.max_frames),
+        atpg_config=ATPGConfig(backtrack_limit=args.backtrack_limit,
+                               max_frames=args.window,
+                               max_faults=args.max_faults))
+    modes = list(ATPG_MODES) if args.mode == "all" else [args.mode]
+    # An explicit --learned artifact is always loaded (so a stale one
+    # fails loudly even for the 'none' baseline), but learning from
+    # scratch is skipped when no learning mode actually runs.
+    learned = None
+    if args.learned:
+        learned = session.load_learned(args.learned)
+    elif any(mode != "none" for mode in modes):
+        learned = session.learn()
+    rows = session.compare(modes)
+    if args.json:
+        payload = {"command": "atpg", **session.report()}
+        if args.learned:
+            payload["artifact"] = args.learned
+        _print_json(payload)
+        return 0
+    if learned is not None:
+        source = f" (from {args.learned})" if args.learned else ""
+        print(f"learning: {learned.summary()}{source}\n")
+    for stats in rows:
+        print(f"mode={stats.mode:9s} {stats.row()}")
     return 0
 
 
+def _cmd_suite(args) -> int:
+    config = ReproConfig(
+        learn=LearnConfig(max_frames=args.max_frames),
+        atpg=ATPGConfig(backtrack_limit=args.backtrack_limit,
+                        max_frames=args.window,
+                        max_faults=args.max_faults),
+        retime=args.retime)
+    modes = list(ATPG_MODES) if args.mode == "all" else [args.mode]
+    progress = None
+    if not args.json:
+        def progress(stage, event, payload):
+            if event == "end":
+                print(f"  {stage}: {payload}")
+    report = run_suite(args.circuits, config=config, modes=modes,
+                       progress=progress)
+    if args.out:
+        report.save(args.out)
+    if args.json:
+        _print_json({"command": "suite", **report.to_dict()})
+    else:
+        print("\nsuite results:")
+        for row in report.rows():
+            print(f"  {row}")
+        for error in report.errors:
+            print(f"  error: {error['spec']}: {error['error']}",
+                  file=sys.stderr)
+        if args.out:
+            print(f"saved suite report to {args.out}")
+    return 1 if report.errors else 0
+
+
 def _cmd_untestable(args) -> int:
-    circuit = resolve_circuit(args.circuit, args.retime)
-    print(compare_untestable(circuit).row())
+    session = _session(args)
+    comparison = session.untestable_screen()
+    if args.json:
+        _print_json({"command": "untestable", **session.report()})
+    else:
+        print(comparison.row())
     return 0
 
 
 def _cmd_analyze(args) -> int:
     circuit = resolve_circuit(args.circuit, args.retime)
     space = analyze_state_space(circuit, max_ffs=args.max_ffs)
-    print(f"{circuit.name}: {circuit.num_ffs} FFs, "
-          f"{len(space.valid_states)} valid states, "
-          f"density of encoding {space.density_of_encoding:.4f}")
+    if args.json:
+        _print_json({
+            "command": "analyze",
+            "circuit": circuit.name,
+            "ffs": circuit.num_ffs,
+            "valid_states": len(space.valid_states),
+            "density_of_encoding": space.density_of_encoding,
+        })
+    else:
+        print(f"{circuit.name}: {circuit.num_ffs} FFs, "
+              f"{len(space.valid_states)} valid states, "
+              f"density of encoding {space.density_of_encoding:.4f}")
     return 0
 
 
@@ -126,7 +223,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list built-in circuits")
+    def add_json(p):
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON output")
 
     def add_circuit(p):
         p.add_argument("circuit",
@@ -134,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                             ".bench path")
         p.add_argument("--retime", type=int, default=0, metavar="MOVES",
                        help="apply N backward-retiming moves first")
+        add_json(p)
+
+    p = sub.add_parser("list", help="list built-in circuits")
+    add_json(p)
 
     p = sub.add_parser("stats", help="structural statistics")
     add_circuit(p)
@@ -148,15 +251,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", "-v", action="store_true")
     p.add_argument("--validate", type=int, default=0, metavar="N",
                    help="Monte-Carlo check with N random sequences")
+    p.add_argument("--save", metavar="FILE",
+                   help="write the learning artifact as JSON")
 
-    p = sub.add_parser("atpg", help="three-mode ATPG comparison")
+    def add_atpg_knobs(p):
+        p.add_argument("--backtrack-limit", type=int, default=30)
+        p.add_argument("--window", type=int, default=8,
+                       help="maximum time-frame window")
+        p.add_argument("--max-frames", type=int, default=50,
+                       help="learning simulation depth")
+        p.add_argument("--max-faults", type=int, default=None)
+        p.add_argument("--mode", default="all",
+                       choices=("all",) + ATPG_MODES,
+                       help="implication mode(s) to run")
+
+    p = sub.add_parser("atpg", help="ATPG with learned implications")
     add_circuit(p)
-    p.add_argument("--backtrack-limit", type=int, default=30)
-    p.add_argument("--window", type=int, default=8,
-                   help="maximum time-frame window")
-    p.add_argument("--max-frames", type=int, default=50,
-                   help="learning simulation depth")
-    p.add_argument("--max-faults", type=int, default=None)
+    add_atpg_knobs(p)
+    p.add_argument("--learned", metavar="FILE",
+                   help="load a saved learning artifact instead of "
+                        "relearning")
+
+    p = sub.add_parser("suite", help="batch pipeline over many circuits")
+    p.add_argument("circuits", nargs="+",
+                   help="circuit specs (builtin, like:<profile>, .bench)")
+    p.add_argument("--retime", type=int, default=0, metavar="MOVES")
+    add_json(p)
+    add_atpg_knobs(p)
+    p.add_argument("--out", metavar="FILE",
+                   help="also write the suite report JSON to FILE")
 
     p = sub.add_parser("untestable", help="tie gates vs FIRES")
     add_circuit(p)
@@ -172,6 +295,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "learn": _cmd_learn,
     "atpg": _cmd_atpg,
+    "suite": _cmd_suite,
     "untestable": _cmd_untestable,
     "analyze": _cmd_analyze,
 }
@@ -179,7 +303,13 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro ... | head`; not our error
+        raise
+    except (CircuitResolveError, ArtifactError, ConfigError,
+            OSError) as exc:
+        raise SystemExit(f"repro: error: {exc}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from ..circuit.gates import ONE, X, ZERO, inv
@@ -62,6 +62,20 @@ class LearnConfig:
     multi_node_max_targets: Optional[int] = None
     #: Random seed for equivalence patterns.
     seed: int = 20260611
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LearnConfig":
+        """Rebuild from :meth:`to_dict` output; unknown keys rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown LearnConfig keys: {sorted(unknown)}")
+        return cls(**data)
 
 
 @dataclass

@@ -1,0 +1,50 @@
+"""Pipeline layer: typed configs, serializable artifacts, sessions.
+
+This package is the canonical entry point for driving the reproduction
+end to end (the free functions in :mod:`repro.core` / :mod:`repro.atpg`
+remain as the underlying primitives)::
+
+    from repro.flow import Session, ReproConfig, ATPGConfig
+
+    session = Session("s27", ReproConfig(atpg=ATPGConfig(mode="known")))
+    learned = session.learn()          # cached; run once
+    session.save_learned("s27.json")   # reuse in later processes
+    stats = session.atpg("known")      # uses the cached learning
+
+* :mod:`repro.flow.config` -- :class:`ReproConfig` / :class:`ATPGConfig`
+* :mod:`repro.flow.serialize` -- JSON artifacts keyed to a circuit
+  fingerprint
+* :mod:`repro.flow.session` -- :class:`Session`, :func:`run_suite`
+"""
+
+from .config import ATPG_MODES, ATPGConfig, ConfigError, ReproConfig
+from .serialize import (
+    ArtifactError,
+    StaleArtifactError,
+    atpg_stats_from_dict,
+    atpg_stats_to_dict,
+    circuit_fingerprint,
+    learn_result_from_dict,
+    learn_result_to_dict,
+    load_learn_result,
+    save_learn_result,
+)
+from .session import (
+    CircuitResolveError,
+    Session,
+    StageRecord,
+    SuiteReport,
+    resolve_circuit,
+    run_suite,
+)
+
+__all__ = [
+    "ATPG_MODES", "ATPGConfig", "ConfigError", "ReproConfig",
+    "ArtifactError", "StaleArtifactError",
+    "atpg_stats_from_dict", "atpg_stats_to_dict",
+    "circuit_fingerprint",
+    "learn_result_from_dict", "learn_result_to_dict",
+    "load_learn_result", "save_learn_result",
+    "CircuitResolveError", "Session", "StageRecord", "SuiteReport",
+    "resolve_circuit", "run_suite",
+]

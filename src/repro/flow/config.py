@@ -1,0 +1,123 @@
+"""Typed, serializable configuration for the pipeline layer.
+
+:class:`ATPGConfig` replaces the keyword-argument soup that used to ride
+on :func:`repro.atpg.run_atpg` / :func:`repro.atpg.compare_modes`;
+:class:`ReproConfig` bundles it with the learning engine's
+:class:`~repro.core.engine.LearnConfig` into one object a
+:class:`~repro.flow.session.Session` (or a config file) can carry.  All
+three round-trip through plain dicts -- ``json.dumps(cfg.to_dict())`` is
+the canonical on-disk form -- and reject unknown keys on the way back in
+so a typo in a config file fails loudly instead of being ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
+
+from ..core.engine import LearnConfig
+
+#: Legal values for :attr:`ATPGConfig.mode`.
+ATPG_MODES = ("none", "forbidden", "known")
+
+
+class ConfigError(ValueError):
+    """Raised for invalid or unknown configuration values."""
+
+
+def _from_dict(cls, data: Dict[str, object]):
+    """Shared strict dict -> dataclass constructor."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown {cls.__name__} keys: {sorted(unknown)}")
+    return cls(**data)
+
+
+@dataclass
+class ATPGConfig:
+    """Knobs of one full-circuit ATPG run (one Table-5 cell group)."""
+
+    #: Implication mode: 'none', 'forbidden' or 'known'.
+    mode: str = "forbidden"
+    #: PODEM backtrack limit per fault (the paper uses 30 and 1000).
+    backtrack_limit: int = 30
+    #: Maximum time-frame window during test generation.
+    max_frames: int = 10
+    #: Cap the collapsed fault list by random sampling (None = all).
+    max_faults: Optional[int] = None
+    #: Seed for don't-care fill and fault sampling.
+    fill_seed: int = 12345
+    #: Keep generated test vectors on :class:`~repro.atpg.ATPGStats`.
+    #: Off by default so batch/suite runs over large circuits don't hold
+    #: every vector in memory; ``sequences_total`` is counted either way.
+    keep_sequences: bool = False
+
+    def validate(self) -> "ATPGConfig":
+        """Raise :class:`ConfigError` on out-of-range values."""
+        if self.mode not in ATPG_MODES:
+            raise ConfigError(
+                f"mode must be one of {ATPG_MODES}, got {self.mode!r}")
+        if self.backtrack_limit < 1:
+            raise ConfigError("backtrack_limit must be >= 1")
+        if self.max_frames < 1:
+            raise ConfigError("max_frames must be >= 1")
+        if self.max_faults is not None and self.max_faults < 1:
+            raise ConfigError("max_faults must be >= 1 or None")
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ATPGConfig":
+        return _from_dict(cls, data).validate()
+
+
+@dataclass
+class ReproConfig:
+    """Everything one pipeline run needs, in one serializable object."""
+
+    learn: LearnConfig = field(default_factory=LearnConfig)
+    atpg: ATPGConfig = field(default_factory=ATPGConfig)
+    #: Backward-retiming moves applied to the circuit after resolution.
+    retime: int = 0
+
+    def validate(self) -> "ReproConfig":
+        if self.retime < 0:
+            raise ConfigError("retime must be >= 0")
+        if self.learn.max_frames < 1:
+            raise ConfigError("learn.max_frames must be >= 1")
+        self.atpg.validate()
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "learn": self.learn.to_dict(),
+            "atpg": self.atpg.to_dict(),
+            "retime": self.retime,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReproConfig":
+        data = dict(data)
+        unknown = set(data) - {"learn", "atpg", "retime"}
+        if unknown:
+            raise ConfigError(
+                f"unknown ReproConfig keys: {sorted(unknown)}")
+        learn = data.get("learn", {})
+        atpg = data.get("atpg", {})
+        if not isinstance(learn, LearnConfig):
+            try:
+                learn = LearnConfig.from_dict(learn)
+            except ValueError as exc:
+                # LearnConfig lives in core and raises plain ValueError;
+                # normalize so callers can catch ConfigError for any typo.
+                raise ConfigError(str(exc)) from exc
+        return cls(
+            learn=learn,
+            atpg=(atpg if isinstance(atpg, ATPGConfig)
+                  else ATPGConfig.from_dict(atpg)),
+            retime=data.get("retime", 0),
+        ).validate()

@@ -1,0 +1,251 @@
+"""JSON round-trip for learning artifacts and ATPG statistics.
+
+The paper's whole point is *learn once, reuse everywhere*: the learned
+implications, ties and equivalences are circuit invariants, so a
+:class:`~repro.core.engine.LearnResult` computed in one process should be
+reusable by every later ATPG run on the same netlist.  This module gives
+it a stable on-disk form:
+
+* :func:`learn_result_to_dict` / :func:`learn_result_from_dict` -- plain
+  dicts, node references by *name* (human-diffable artifacts);
+* :func:`save_learn_result` / :func:`load_learn_result` -- JSON files;
+* :func:`atpg_stats_to_dict` / :func:`atpg_stats_from_dict` -- the same
+  for :class:`~repro.atpg.driver.ATPGStats`.
+
+Every artifact is keyed to the circuit's structural
+:meth:`~repro.circuit.netlist.Circuit.fingerprint`.  Loading against a
+circuit whose fingerprint differs raises :class:`StaleArtifactError` --
+learned knowledge silently applied to the wrong netlist would be unsound,
+which is the one failure mode this layer must never allow.
+
+The phase-one ``single_node_data`` traces are deliberately *not*
+serialized: they are simulation intermediates only the learning phases
+themselves consume, and they dwarf the useful payload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..atpg.driver import ATPGStats
+from ..circuit.netlist import Circuit, CircuitError
+from ..core.engine import LearnConfig, LearnResult
+from ..core.multi_node import MultiNodeStats
+from ..core.relations import RelationDB
+from ..core.ties import TieSet
+
+#: Bumped whenever the artifact layout changes incompatibly.
+FORMAT_VERSION = 1
+
+LEARN_FORMAT = "repro/learn-result"
+STATS_FORMAT = "repro/atpg-stats"
+
+
+class ArtifactError(ValueError):
+    """Raised for malformed or incompatible serialized artifacts."""
+
+
+class StaleArtifactError(ArtifactError):
+    """Raised when an artifact's circuit fingerprint does not match."""
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Structural hash keying artifacts to their netlist."""
+    return circuit.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# LearnResult
+# ----------------------------------------------------------------------
+def learn_result_to_dict(result: LearnResult) -> Dict[str, object]:
+    """Serializable form of everything the learning engine extracted."""
+    circuit = result.circuit
+    name_of = lambda nid: circuit.nodes[nid].name  # noqa: E731
+
+    relations = [{
+        "a": name_of(r.a), "va": r.va,
+        "b": name_of(r.b), "vb": r.vb,
+        "source": r.source, "sequential": r.sequential,
+        "warmup": r.warmup,
+    } for r in result.relations]
+    ties = [{
+        "node": name_of(t.nid), "value": t.value,
+        "sequential": t.sequential, "phase": t.phase,
+        "warmup": t.warmup,
+    } for t in result.ties.all()]
+    equivalences = [{
+        "node": name_of(nid), "cls": name_of(cls), "polarity": pol,
+    } for nid, (cls, pol) in sorted(result.equivalences.items())]
+    multi = result.multi_stats
+    return {
+        "format": LEARN_FORMAT,
+        "version": FORMAT_VERSION,
+        "circuit": {
+            "name": circuit.name,
+            "fingerprint": circuit.fingerprint(),
+            "nodes": len(circuit),
+            "ffs": circuit.num_ffs,
+        },
+        "config": result.config.to_dict(),
+        "elapsed": result.elapsed,
+        "phase_times": dict(result.phase_times),
+        "relations": relations,
+        "ties": ties,
+        "equivalences": equivalences,
+        "multi_stats": {
+            "targets_run": multi.targets_run,
+            "targets_skipped": multi.targets_skipped,
+            "relations_added": multi.relations_added,
+            "ties_found": multi.ties_found,
+            "conflicts": [[name_of(nid), value]
+                          for nid, value in multi.conflicts],
+        },
+    }
+
+
+def _check_header(data: Dict[str, object], expected_format: str) -> None:
+    if not isinstance(data, dict):
+        raise ArtifactError(f"artifact must be a dict, got {type(data)}")
+    if data.get("format") != expected_format:
+        raise ArtifactError(
+            f"not a {expected_format} artifact "
+            f"(format={data.get('format')!r})")
+    if data.get("version") != FORMAT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact version {data.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+
+
+def learn_result_from_dict(data: Dict[str, object],
+                           circuit: Circuit) -> LearnResult:
+    """Rebuild a :class:`LearnResult` against a live circuit.
+
+    The circuit must structurally match the one the artifact was learned
+    on; a fingerprint mismatch raises :class:`StaleArtifactError`.
+    """
+    _check_header(data, LEARN_FORMAT)
+    meta = data.get("circuit")
+    if not isinstance(meta, dict):
+        raise ArtifactError("artifact is missing its 'circuit' section")
+    have = circuit.fingerprint()
+    want = meta.get("fingerprint")
+    if want != have:
+        raise StaleArtifactError(
+            f"artifact was learned on {meta.get('name')!r} "
+            f"(fingerprint {str(want)[:12]}...), which does not match "
+            f"circuit {circuit.name!r} (fingerprint {have[:12]}...); "
+            "re-run learning for this netlist")
+
+    try:
+        config = LearnConfig.from_dict(data.get("config", {}))
+        return _rebuild_body(data, circuit, config)
+    except CircuitError as exc:
+        # Fingerprint matched but a node reference does not resolve:
+        # the artifact was hand-edited or corrupted after saving.
+        raise ArtifactError(
+            f"artifact references a node the circuit does not have: "
+            f"{exc}") from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, ArtifactError):
+            raise
+        raise ArtifactError(
+            f"malformed artifact payload: {exc!r}") from exc
+
+
+def _rebuild_body(data: Dict[str, object], circuit: Circuit,
+                  config: LearnConfig) -> LearnResult:
+    relations = RelationDB(circuit)
+    for item in data.get("relations", ()):
+        relations.add(circuit.nid(item["a"]), item["va"],
+                      circuit.nid(item["b"]), item["vb"],
+                      source=item.get("source", "single"),
+                      sequential=item.get("sequential", True),
+                      warmup=item.get("warmup", 1))
+    ties = TieSet(circuit)
+    for item in data.get("ties", ()):
+        ties.add(circuit.nid(item["node"]), item["value"],
+                 sequential=item.get("sequential", True),
+                 phase=item.get("phase", "single"),
+                 warmup=item.get("warmup", 0))
+    equivalences = {
+        circuit.nid(item["node"]): (circuit.nid(item["cls"]),
+                                    item["polarity"])
+        for item in data.get("equivalences", ())}
+    multi_raw = data.get("multi_stats", {})
+    multi = MultiNodeStats(
+        targets_run=multi_raw.get("targets_run", 0),
+        targets_skipped=multi_raw.get("targets_skipped", 0),
+        relations_added=multi_raw.get("relations_added", 0),
+        ties_found=multi_raw.get("ties_found", 0),
+        conflicts=[(circuit.nid(name), value)
+                   for name, value in multi_raw.get("conflicts", ())])
+    return LearnResult(
+        circuit=circuit, config=config, relations=relations, ties=ties,
+        equivalences=equivalences, single_node_data={},
+        multi_stats=multi, elapsed=data.get("elapsed", 0.0),
+        phase_times=dict(data.get("phase_times", {})))
+
+
+def save_learn_result(result: LearnResult, path) -> None:
+    """Write a learning artifact as JSON."""
+    with open(path, "w") as handle:
+        json.dump(learn_result_to_dict(result), handle, indent=1)
+        handle.write("\n")
+
+
+def load_learn_result(path, circuit: Circuit) -> LearnResult:
+    """Read a JSON learning artifact and bind it to ``circuit``."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"{path}: not valid JSON ({exc})") from exc
+    return learn_result_from_dict(data, circuit)
+
+
+# ----------------------------------------------------------------------
+# ATPGStats
+# ----------------------------------------------------------------------
+def atpg_stats_to_dict(stats: ATPGStats) -> Dict[str, object]:
+    """Serializable form of one ATPG run's aggregate statistics."""
+    return {
+        "format": STATS_FORMAT,
+        "version": FORMAT_VERSION,
+        "circuit": stats.circuit,
+        "mode": stats.mode,
+        "backtrack_limit": stats.backtrack_limit,
+        "total_faults": stats.total_faults,
+        "detected": stats.detected,
+        "untestable": stats.untestable,
+        "aborted": stats.aborted,
+        "collateral": stats.collateral,
+        "decisions": stats.decisions,
+        "backtracks": stats.backtracks,
+        "cpu_s": stats.cpu_s,
+        "sequences_total": stats.sequences_total,
+        "sequences": [list(seq) for seq in stats.sequences],
+    }
+
+
+def atpg_stats_from_dict(data: Dict[str, object]) -> ATPGStats:
+    """Inverse of :func:`atpg_stats_to_dict`."""
+    _check_header(data, STATS_FORMAT)
+    missing = {"circuit", "mode", "backtrack_limit"} - set(data)
+    if missing:
+        raise ArtifactError(
+            f"stats artifact missing required keys: {sorted(missing)}")
+    return ATPGStats(
+        circuit=data["circuit"],
+        mode=data["mode"],
+        backtrack_limit=data["backtrack_limit"],
+        total_faults=data.get("total_faults", 0),
+        detected=data.get("detected", 0),
+        untestable=data.get("untestable", 0),
+        aborted=data.get("aborted", 0),
+        collateral=data.get("collateral", 0),
+        decisions=data.get("decisions", 0),
+        backtracks=data.get("backtracks", 0),
+        cpu_s=data.get("cpu_s", 0.0),
+        sequences_total=data.get("sequences_total", 0),
+        sequences=[list(seq) for seq in data.get("sequences", ())])

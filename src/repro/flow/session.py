@@ -1,0 +1,370 @@
+"""The :class:`Session` facade -- the canonical way to drive the pipeline.
+
+The paper's workflow is *learn once, reuse across many ATPG runs*.  A
+``Session`` makes that a first-class object: it binds one circuit spec to
+one :class:`~repro.flow.config.ReproConfig` and exposes the pipeline as
+named, individually cached stages::
+
+    resolve -> learn -> untestable -> atpg[mode] -> fault_sim[mode]
+
+Each stage runs at most once per session (per ATPG mode for the last
+two); asking again returns the cached result.  Learned knowledge can be
+saved to / loaded from a JSON artifact (:mod:`repro.flow.serialize`), so
+the expensive learning stage is skipped entirely when a fresh artifact
+exists -- this is what the CLI's ``learn --save`` / ``atpg --learned``
+pair rides on.
+
+``progress`` hooks fire as ``progress(stage, event, payload)`` with
+``event`` in ``{"start", "end"}``; ``payload`` is ``None`` at start and a
+small summary dict at end.  :func:`run_suite` batches sessions over many
+circuit specs into a :class:`SuiteReport` with one JSON document for the
+whole run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..atpg.driver import ATPGStats, run_atpg
+from ..atpg.faults import collapse_faults
+from ..atpg.untestable import UntestableComparison, compare_untestable
+from ..circuit import (
+    BUILTIN,
+    get_builtin,
+    iscas_like,
+    load_bench,
+    retime_circuit,
+)
+from ..circuit.netlist import Circuit, CircuitError
+from ..core.engine import LearnResult, learn
+from ..sim.faultsim import FaultSimulator
+from .config import ATPG_MODES, ConfigError, ReproConfig
+from .serialize import load_learn_result, save_learn_result
+
+#: progress(stage_name, "start" | "end", payload_or_None)
+ProgressHook = Callable[[str, str, Optional[dict]], None]
+
+
+class CircuitResolveError(ValueError):
+    """A circuit spec that cannot be turned into a circuit."""
+
+
+def resolve_circuit(spec: Union[str, Circuit],
+                    retime: int = 0) -> Circuit:
+    """Turn a circuit spec into a :class:`Circuit`.
+
+    ``spec`` is a built-in name (``figure1``, ``s27``, ...), a generator
+    profile ``like:<name>[@scale]`` (``like:s382@0.5``), a path to an
+    ISCAS-89 ``.bench`` file, or an already-built :class:`Circuit`.
+    Raises :class:`CircuitResolveError` with an actionable message for
+    anything else -- never a raw ``KeyError``/``FileNotFoundError``.
+    """
+    if isinstance(spec, Circuit):
+        circuit = spec
+    elif spec in BUILTIN:
+        circuit = get_builtin(spec)
+    elif spec.startswith("like:"):
+        body = spec[len("like:"):]
+        name, _, scale = body.partition("@")
+        try:
+            if scale:
+                circuit = iscas_like(name, scale=float(scale))
+            else:
+                circuit = iscas_like(name)
+        except KeyError as exc:
+            raise CircuitResolveError(
+                f"unknown profile {name!r} in {spec!r}: "
+                f"{exc.args[0]}") from exc
+        except ValueError as exc:
+            raise CircuitResolveError(
+                f"bad scale in {spec!r}: {exc}") from exc
+    else:
+        try:
+            circuit = load_bench(spec)
+        except OSError as exc:
+            raise CircuitResolveError(
+                f"cannot read bench file {spec!r}: {exc}; expected a "
+                "built-in name, like:<profile>[@scale], or a .bench "
+                "path (see `repro list`)") from exc
+        except CircuitError as exc:
+            raise CircuitResolveError(
+                f"malformed bench file {spec!r}: {exc}") from exc
+    if retime:
+        circuit = retime_circuit(circuit, moves=retime,
+                                 name=circuit.name + "_retimed")
+    return circuit
+
+
+@dataclass
+class StageRecord:
+    """Timing + summary of one completed pipeline stage."""
+
+    stage: str
+    elapsed: float
+    summary: Dict[str, object] = field(default_factory=dict)
+
+
+class Session:
+    """One circuit, one config, every pipeline stage cached."""
+
+    def __init__(self, spec: Union[str, Circuit],
+                 config: Optional[ReproConfig] = None,
+                 progress: Optional[ProgressHook] = None):
+        self.spec = spec
+        self.config = (config or ReproConfig()).validate()
+        self.progress = progress
+        self.records: List[StageRecord] = []
+        self._circuit: Optional[Circuit] = None
+        self._learned: Optional[LearnResult] = None
+        self._untestable: Optional[UntestableComparison] = None
+        self._atpg: Dict[str, ATPGStats] = {}
+        self._fault_sim: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    def _stage(self, name: str, fn, summarize):
+        if self.progress is not None:
+            self.progress(name, "start", None)
+        t0 = time.perf_counter()
+        value = fn()
+        record = StageRecord(stage=name,
+                             elapsed=time.perf_counter() - t0,
+                             summary=summarize(value))
+        self.records.append(record)
+        if self.progress is not None:
+            self.progress(name, "end", dict(record.summary))
+        return value
+
+    # ------------------------------------------------------------------
+    # resolve
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> Circuit:
+        """The resolved circuit (stage ``resolve``, cached)."""
+        if self._circuit is None:
+            self._circuit = self._stage(
+                "resolve",
+                lambda: resolve_circuit(self.spec, self.config.retime),
+                lambda c: {"circuit": c.name, **c.stats()})
+        return self._circuit
+
+    # ------------------------------------------------------------------
+    # learn
+    # ------------------------------------------------------------------
+    def learn(self) -> LearnResult:
+        """Stage ``learn`` (cached; skipped when an artifact is loaded)."""
+        if self._learned is None:
+            circuit = self.circuit
+            self._learned = self._stage(
+                "learn",
+                lambda: learn(circuit, self.config.learn),
+                lambda r: dict(r.summary()))
+        return self._learned
+
+    def attach_learned(self, result: LearnResult) -> None:
+        """Use an existing in-memory result instead of relearning."""
+        if result.circuit is not self.circuit and (
+                result.circuit.fingerprint()
+                != self.circuit.fingerprint()):
+            raise CircuitResolveError(
+                f"learned result is for {result.circuit.name!r}, not "
+                f"{self.circuit.name!r}")
+        self._learned = result
+
+    def load_learned(self, path) -> LearnResult:
+        """Stage ``learn`` satisfied from a saved JSON artifact."""
+        circuit = self.circuit
+        self._learned = self._stage(
+            "learn",
+            lambda: load_learn_result(path, circuit),
+            lambda r: {**r.summary(), "artifact": str(path)})
+        return self._learned
+
+    def save_learned(self, path) -> None:
+        """Persist the (possibly freshly computed) learning result."""
+        save_learn_result(self.learn(), path)
+
+    # ------------------------------------------------------------------
+    # untestable screen
+    # ------------------------------------------------------------------
+    def untestable_screen(self) -> UntestableComparison:
+        """Stage ``untestable``: tie-gate vs FIRES screen (cached).
+
+        Learning comes from the shared ``learn`` stage (depth
+        ``config.learn.max_frames``, not ``compare_untestable``'s
+        internal default), and its CPU is folded back into
+        ``tie_cpu_s`` so the tie-vs-FIRES CPU comparison still charges
+        the tie side for the learning that produced its ties.
+        """
+        if self._untestable is None:
+            circuit = self.circuit
+            learned = self.learn()
+
+            def screen() -> UntestableComparison:
+                comparison = compare_untestable(circuit, learned=learned)
+                comparison.tie_cpu_s += learned.elapsed
+                return comparison
+
+            self._untestable = self._stage(
+                "untestable", screen, lambda c: dict(c.row()))
+        return self._untestable
+
+    # ------------------------------------------------------------------
+    # ATPG
+    # ------------------------------------------------------------------
+    def atpg(self, mode: Optional[str] = None) -> ATPGStats:
+        """Stage ``atpg`` for one implication mode (cached per mode).
+
+        ``mode='none'`` is the paper's true no-learning baseline: the
+        learned result is withheld entirely, including the tie-gate
+        untestability screen.
+        """
+        mode = mode or self.config.atpg.mode
+        if mode not in ATPG_MODES:
+            raise ConfigError(
+                f"mode must be one of {ATPG_MODES}, got {mode!r}")
+        if mode not in self._atpg:
+            circuit = self.circuit
+            learned = None if mode == "none" else self.learn()
+            config = replace(self.config.atpg, mode=mode)
+            self._atpg[mode] = self._stage(
+                f"atpg[{mode}]",
+                lambda: run_atpg(circuit, learned=learned, config=config),
+                lambda s: dict(s.row()))
+        return self._atpg[mode]
+
+    def compare(self, modes: Sequence[str] = ATPG_MODES
+                ) -> List[ATPGStats]:
+        """Run (or fetch) the ATPG stage for several modes in order."""
+        return [self.atpg(mode) for mode in modes]
+
+    # ------------------------------------------------------------------
+    # fault simulation
+    # ------------------------------------------------------------------
+    def fault_sim(self, mode: Optional[str] = None) -> Dict[str, object]:
+        """Stage ``fault_sim``: grade the generated test set (cached).
+
+        Replays the ATPG stage's kept sequences against the full
+        collapsed fault list and reports independent fault coverage.
+        Requires ``atpg.keep_sequences=True`` when any tests were
+        generated -- grading needs the vectors.
+        """
+        mode = mode or self.config.atpg.mode
+        if mode in self._fault_sim:
+            return self._fault_sim[mode]
+        stats = self.atpg(mode)
+        if stats.sequences_total and not stats.sequences:
+            raise ConfigError(
+                "fault_sim needs the generated vectors; re-run with "
+                "ATPGConfig.keep_sequences=True")
+        circuit = self.circuit
+
+        def grade() -> Dict[str, object]:
+            faults = collapse_faults(circuit)
+            simulator = FaultSimulator(circuit)
+            undetected = list(faults)
+            for sequence in stats.sequences:
+                if not undetected:
+                    break
+                hits = simulator.detected(sequence, undetected)
+                undetected = [f for i, f in enumerate(undetected)
+                              if i not in hits]
+            detected = len(faults) - len(undetected)
+            return {
+                "circuit": circuit.name,
+                "mode": mode,
+                "sequences": stats.sequences_total,
+                "total_faults": len(faults),
+                "detected": detected,
+                "fault_coverage_%": round(
+                    100.0 * detected / len(faults), 2) if faults else 100.0,
+            }
+
+        self._fault_sim[mode] = self._stage(
+            f"fault_sim[{mode}]", grade, lambda r: dict(r))
+        return self._fault_sim[mode]
+
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        """Everything this session has computed, as one JSON-able dict."""
+        out: Dict[str, object] = {
+            "circuit": self.circuit.name,
+            "fingerprint": self.circuit.fingerprint(),
+            "config": self.config.to_dict(),
+            "stages": [{"stage": r.stage,
+                        "elapsed_s": round(r.elapsed, 4),
+                        **r.summary} for r in self.records],
+        }
+        if self._learned is not None:
+            out["learn"] = dict(self._learned.summary())
+        if self._untestable is not None:
+            out["untestable"] = dict(self._untestable.row())
+        if self._atpg:
+            out["atpg"] = {mode: dict(stats.row())
+                           for mode, stats in self._atpg.items()}
+        if self._fault_sim:
+            out["fault_sim"] = {mode: dict(res)
+                                for mode, res in self._fault_sim.items()}
+        return out
+
+
+# ----------------------------------------------------------------------
+# suites
+# ----------------------------------------------------------------------
+@dataclass
+class SuiteReport:
+    """Batch results: one :meth:`Session.report` per circuit spec."""
+
+    reports: List[Dict[str, object]] = field(default_factory=list)
+    errors: List[Dict[str, str]] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat table: one row per (circuit, ATPG mode)."""
+        rows = []
+        for report in self.reports:
+            for mode, stats in sorted(report.get("atpg", {}).items()):
+                rows.append({"circuit": report["circuit"],
+                             "mode": mode, **stats})
+        return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": "repro/suite-report",
+            "version": 1,
+            "circuits": len(self.reports),
+            "errors": list(self.errors),
+            "reports": list(self.reports),
+        }
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+
+
+def run_suite(specs: Sequence[Union[str, Circuit]],
+              config: Optional[ReproConfig] = None,
+              modes: Sequence[str] = ATPG_MODES,
+              progress: Optional[ProgressHook] = None,
+              keep_going: bool = True) -> SuiteReport:
+    """Run the full pipeline over many circuit specs.
+
+    Each spec gets its own :class:`Session` (learning runs once per
+    circuit and is shared by every ATPG mode).  With ``keep_going`` a
+    spec that fails to resolve is recorded in :attr:`SuiteReport.errors`
+    and the suite continues; otherwise the error propagates.
+    """
+    report = SuiteReport()
+    for spec in specs:
+        session = Session(spec, config=config, progress=progress)
+        try:
+            session.compare(modes)
+        except (CircuitResolveError, ConfigError) as exc:
+            if not keep_going:
+                raise
+            report.errors.append({"spec": str(spec), "error": str(exc)})
+            continue
+        report.reports.append(session.report())
+    return report

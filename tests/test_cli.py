@@ -1,5 +1,6 @@
 """Command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -71,3 +72,91 @@ def test_resolve_bench_file(tmp_path):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_resolve_missing_bench_path_clear_error():
+    with pytest.raises(SystemExit, match="cannot read bench file"):
+        main(["stats", "/no/such/path.bench"])
+
+
+def test_resolve_unknown_profile_clear_error():
+    with pytest.raises(SystemExit, match="unknown profile"):
+        main(["stats", "like:not_a_real_profile"])
+
+
+def test_list_and_stats_json(capsys):
+    assert main(["list", "--json"]) == 0
+    listed = json.loads(capsys.readouterr().out)
+    assert "figure1" in listed["circuits"]
+
+    assert main(["stats", "figure1", "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["ffs"] == 6 and len(stats["fingerprint"]) == 64
+
+
+def test_learn_json_output(capsys):
+    assert main(["learn", "figure1", "--json", "--validate", "5"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "learn"
+    assert payload["learn"]["ties"] == 3
+    assert payload["validation"]["violations"] == []
+
+
+def test_learn_save_then_atpg_learned(tmp_path, capsys):
+    artifact = str(tmp_path / "figure1.learn.json")
+    assert main(["learn", "figure1", "--save", artifact]) == 0
+    assert os.path.exists(artifact)
+    capsys.readouterr()
+
+    assert main(["atpg", "figure1", "--learned", artifact,
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "atpg"
+    assert payload["artifact"] == artifact
+    # Learning was loaded from the artifact, not re-run.
+    learn_stages = [s for s in payload["stages"]
+                    if s["stage"] == "learn"]
+    assert learn_stages[0]["artifact"] == artifact
+    assert set(payload["atpg"]) == {"none", "forbidden", "known"}
+    for row in payload["atpg"].values():
+        assert row["total"] == row["det"] + row["untest"] + row["aborted"]
+
+
+def test_atpg_learned_stale_artifact(tmp_path, capsys):
+    artifact = str(tmp_path / "figure1.learn.json")
+    assert main(["learn", "figure1", "--save", artifact]) == 0
+    with pytest.raises(SystemExit, match="does not match"):
+        main(["atpg", "s27", "--learned", artifact])
+
+
+def test_atpg_single_mode(capsys):
+    assert main(["atpg", "figure1", "--mode", "known", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["atpg"]) == {"known"}
+
+
+def test_atpg_mode_none_skips_learning(capsys):
+    assert main(["atpg", "figure1", "--mode", "none", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["atpg"]) == {"none"}
+    assert all(s["stage"] != "learn" for s in payload["stages"])
+
+
+def test_atpg_mode_none_still_validates_explicit_artifact(tmp_path):
+    artifact = str(tmp_path / "figure1.learn.json")
+    assert main(["learn", "figure1", "--save", artifact]) == 0
+    # A stale artifact must fail loudly even for the no-learning baseline.
+    with pytest.raises(SystemExit, match="does not match"):
+        main(["atpg", "s27", "--learned", artifact, "--mode", "none"])
+
+
+def test_suite_command(tmp_path, capsys):
+    out = str(tmp_path / "suite.json")
+    assert main(["suite", "figure1", "s27", "--mode", "known",
+                 "--max-faults", "20", "--json", "--out", out]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "suite"
+    assert payload["circuits"] == 2 and payload["errors"] == []
+    saved = json.loads(open(out).read())
+    assert saved["format"] == "repro/suite-report"
+    assert {r["circuit"] for r in saved["reports"]} == {"figure1", "s27"}

@@ -1,0 +1,136 @@
+"""JSON artifact round-trips for learning results and ATPG stats.
+
+The load-bearing properties: (1) a saved-then-loaded LearnResult carries
+exactly the same relations/ties/equivalences and still passes the
+Monte-Carlo soundness oracle; (2) an artifact never binds to a circuit
+whose structural fingerprint differs.
+"""
+
+import json
+
+import pytest
+
+from repro import figure1, learn, run_atpg, s27
+from repro.circuit import equivalence_demo, figure2
+from repro.flow import (
+    ArtifactError,
+    StaleArtifactError,
+    atpg_stats_from_dict,
+    atpg_stats_to_dict,
+    circuit_fingerprint,
+    learn_result_from_dict,
+    learn_result_to_dict,
+    load_learn_result,
+    save_learn_result,
+)
+
+CIRCUITS = [figure1, figure2, s27, equivalence_demo]
+
+
+def _relation_keys(result):
+    return {r.key() for r in result.relations}
+
+
+@pytest.mark.parametrize("make", CIRCUITS,
+                         ids=[c.__name__ for c in CIRCUITS])
+def test_learn_result_json_round_trip(make):
+    circuit = make()
+    result = learn(circuit)
+    # Through real JSON text, not just dicts.
+    data = json.loads(json.dumps(learn_result_to_dict(result)))
+    loaded = learn_result_from_dict(data, circuit)
+
+    assert _relation_keys(loaded) == _relation_keys(result)
+    assert {(t.nid, t.value, t.sequential, t.warmup)
+            for t in loaded.ties.all()} \
+        == {(t.nid, t.value, t.sequential, t.warmup)
+            for t in result.ties.all()}
+    assert loaded.equivalences == result.equivalences
+    assert loaded.config == result.config
+    assert loaded.counts() == result.counts()
+    assert loaded.phase_times == result.phase_times
+    assert loaded.multi_stats == result.multi_stats
+    # The soundness oracle must still find zero violations.
+    assert loaded.validate(n_sequences=20) == []
+
+
+def test_relation_provenance_survives():
+    result = learn(figure1())
+    data = learn_result_to_dict(result)
+    loaded = learn_result_from_dict(data, figure1())
+    by_key = {r.key(): r for r in loaded.relations}
+    for relation in result.relations:
+        twin = by_key[relation.key()]
+        assert twin.source == relation.source
+        assert twin.sequential == relation.sequential
+        assert twin.warmup == relation.warmup
+
+
+def test_fingerprint_mismatch_rejected():
+    result = learn(figure1())
+    data = learn_result_to_dict(result)
+    with pytest.raises(StaleArtifactError, match="does not match"):
+        learn_result_from_dict(data, s27())
+
+
+def test_fingerprint_stable_and_structural():
+    assert circuit_fingerprint(figure1()) == circuit_fingerprint(figure1())
+    assert circuit_fingerprint(figure1()) != circuit_fingerprint(s27())
+    renamed = figure1()
+    renamed.name = "renamed_copy"
+    assert circuit_fingerprint(renamed) == circuit_fingerprint(figure1())
+
+
+def test_bad_header_rejected():
+    result = learn(figure1())
+    data = learn_result_to_dict(result)
+    with pytest.raises(ArtifactError, match="version"):
+        learn_result_from_dict({**data, "version": 999}, figure1())
+    with pytest.raises(ArtifactError, match="format"):
+        learn_result_from_dict({**data, "format": "other"}, figure1())
+
+
+def test_save_load_file(tmp_path):
+    circuit = figure1()
+    result = learn(circuit)
+    path = tmp_path / "figure1.learn.json"
+    save_learn_result(result, path)
+    loaded = load_learn_result(path, figure1())
+    assert loaded.counts() == result.counts()
+    assert len(loaded.ties) == len(result.ties)
+
+    path.write_text("not json {")
+    with pytest.raises(ArtifactError, match="JSON"):
+        load_learn_result(path, circuit)
+
+
+def test_malformed_payload_raises_artifact_error():
+    circuit = figure1()
+    result = learn(circuit)
+    data = learn_result_to_dict(result)
+    with pytest.raises(ArtifactError, match="unknown"):
+        learn_result_from_dict(
+            {**data, "config": {"typo_key": 1}}, circuit)
+    with pytest.raises(ArtifactError, match="circuit"):
+        learn_result_from_dict(
+            {k: v for k, v in data.items() if k != "circuit"}, circuit)
+    tampered = json.loads(json.dumps(data))
+    tampered["relations"][0]["a"] = "NOT_A_NODE"
+    with pytest.raises(ArtifactError, match="node"):
+        learn_result_from_dict(tampered, circuit)
+
+
+def test_atpg_stats_missing_keys_rejected():
+    with pytest.raises(ArtifactError, match="missing required"):
+        atpg_stats_from_dict({"format": "repro/atpg-stats", "version": 1})
+
+
+def test_atpg_stats_round_trip():
+    circuit = figure1()
+    learned = learn(circuit)
+    stats = run_atpg(circuit, learned=learned, mode="forbidden",
+                     backtrack_limit=20, max_frames=8)
+    data = json.loads(json.dumps(atpg_stats_to_dict(stats)))
+    rebuilt = atpg_stats_from_dict(data)
+    assert rebuilt == stats
+    assert rebuilt.row() == stats.row()
