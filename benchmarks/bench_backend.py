@@ -1,0 +1,200 @@
+"""Reference-vs-compiled backend speedup benchmark.
+
+Measures the two simulation hot paths and one end-to-end Table-5
+workload on both backends, checks the results are identical, and writes
+the speedup table to ``BENCH_backend.json`` (checked in at the repo
+root so the perf trajectory is tracked over PRs).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py          # full
+    PYTHONPATH=src python benchmarks/bench_backend.py --tiny   # CI smoke
+
+Rows:
+
+* ``pattern_sim``  -- packed random-pattern signatures (the learning
+  engine's equivalence-candidate pass; 256-bit words).
+* ``fault_sim``    -- sequential fault simulation of the full collapsed
+  stuck-at list over a random binary sequence (the acceptance
+  microbenchmark: the compiled backend must be >= 3x faster here).
+* ``atpg_e2e``     -- learning + full ATPG run (mode 'forbidden'),
+  i.e. one Table-5 cell, dominated by fault dropping.
+
+Timing is best-of-N wall clock; identical-result assertions run on
+every repetition, so the bench doubles as a coarse differential test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import random
+
+from repro.atpg.driver import run_atpg
+from repro.atpg.faults import collapse_faults
+from repro.circuit import iscas_like
+from repro.sim.compiled import CompiledFaultSimulator, compile_circuit
+from repro.sim.faultsim import FaultSimulator, fault_coverage
+from repro.sim.parallel import random_source_masks, simulate_patterns
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_backend.json")
+
+
+def _best_of(fn: Callable[[], object], repeat: int
+             ) -> Tuple[float, object]:
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _row(bench: str, circuit_name: str, detail: str,
+         reference: Callable[[], object],
+         compiled: Callable[[], object], repeat: int
+         ) -> Dict[str, object]:
+    ref_s, ref_value = _best_of(reference, repeat)
+    comp_s, comp_value = _best_of(compiled, repeat)
+    assert ref_value == comp_value, f"{bench}: backends disagree"
+    return {
+        "bench": bench,
+        "circuit": circuit_name,
+        "detail": detail,
+        "reference_s": round(ref_s, 4),
+        "compiled_s": round(comp_s, 4),
+        "speedup": round(ref_s / comp_s, 2) if comp_s else float("inf"),
+    }
+
+
+def build_rows(tiny: bool, repeat: int) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+
+    # -- pattern simulation (learning signatures) ----------------------
+    pat_circuit = iscas_like("s953" if tiny else "s1423",
+                             scale=0.25 if tiny else 1.0)
+    width = 256
+    source = random_source_masks(pat_circuit, width, random.Random(2))
+    compiled_circuit = compile_circuit(pat_circuit)
+    loops = 3 if tiny else 20
+
+    def pattern_reference():
+        out = None
+        for _ in range(loops):
+            out = simulate_patterns(pat_circuit, source, width)
+        return out
+
+    def pattern_compiled():
+        out = None
+        for _ in range(loops):
+            out = compiled_circuit.simulate_patterns(source, width)
+        return out
+
+    rows.append(_row(
+        "pattern_sim", pat_circuit.name,
+        f"{loops}x {width}-bit signatures over {pat_circuit.num_gates} "
+        "gates", pattern_reference, pattern_compiled, repeat))
+
+    # -- fault simulation (the acceptance microbenchmark) --------------
+    fs_circuit = iscas_like("s953" if tiny else "s1423",
+                            scale=0.25 if tiny else 1.0)
+    faults = collapse_faults(fs_circuit)
+    rng = random.Random(1)
+    inputs = [fs_circuit.nodes[i].name for i in fs_circuit.inputs]
+    frames = 8 if tiny else 32
+    sequence = [{n: rng.randint(0, 1) for n in inputs}
+                for _ in range(frames)]
+    ref_sim = FaultSimulator(fs_circuit)
+    comp_sim = CompiledFaultSimulator(fs_circuit)
+    rows.append(_row(
+        "fault_sim", fs_circuit.name,
+        f"{len(faults)} collapsed faults x {frames} frames, width 128",
+        lambda: ref_sim.detected(sequence, faults),
+        lambda: comp_sim.detected(sequence, faults), repeat))
+
+    # -- end-to-end test-set grading (fault-sim bound) -----------------
+    n_seq = 4 if tiny else 24
+    grade_seqs = [[{n: rng.randint(0, 1) for n in inputs}
+                   for _ in range(frames)] for _ in range(n_seq)]
+    rows.append(_row(
+        "fault_grading", fs_circuit.name,
+        f"fault_coverage of {n_seq} random sequences over "
+        f"{len(faults)} faults",
+        lambda: fault_coverage(fs_circuit, grade_seqs, faults,
+                               backend="reference"),
+        lambda: fault_coverage(fs_circuit, grade_seqs, faults,
+                               backend="compiled"), repeat))
+
+    # -- end-to-end Table-5 workload -----------------------------------
+    e2e_circuit = iscas_like("s386", scale=0.25 if tiny else 0.75)
+    e2e_faults = 16 if tiny else 220
+
+    def atpg(backend: str) -> Tuple:
+        stats = run_atpg(e2e_circuit, mode="none", backtrack_limit=10,
+                         max_frames=4, max_faults=e2e_faults,
+                         keep_sequences=False, sim_backend=backend)
+        return (stats.total_faults, stats.detected, stats.untestable,
+                stats.aborted, stats.collateral, stats.sequences_total)
+
+    rows.append(_row(
+        "atpg_e2e", e2e_circuit.name,
+        "run_atpg mode=none bt=10; PODEM-bound on this engine, so the "
+        "backend moves only its fault-dropping share",
+        lambda: atpg("reference"), lambda: atpg("compiled"),
+        max(1, repeat - 1)))
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="small circuits / few repetitions "
+                             "(CI smoke)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    rows = build_rows(args.tiny, args.repeat)
+    payload = {
+        "format": "repro/bench-backend",
+        "version": 1,
+        "tiny": args.tiny,
+        "python": platform.python_version(),
+        "rows": rows,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+    header = f"{'bench':<12} {'circuit':<12} {'reference_s':>11} " \
+             f"{'compiled_s':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['bench']:<12} {row['circuit']:<12} "
+              f"{row['reference_s']:>11.4f} {row['compiled_s']:>10.4f} "
+              f"{row['speedup']:>7.2f}x")
+    print(f"\nwrote {os.path.abspath(args.out)}")
+
+    fault_row = next(r for r in rows if r["bench"] == "fault_sim")
+    if not args.tiny and fault_row["speedup"] < 3.0:
+        print("FAIL: fault_sim speedup below the 3x acceptance bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

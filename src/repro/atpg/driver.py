@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..circuit.netlist import Circuit
 from ..core.engine import LearnResult
 from ..core.ties import untestable_faults_from_ties
-from ..sim.faultsim import FaultSimulator
+from ..sim.compiled import make_fault_simulator
 from .engine import SequentialATPG, TestResult
 from .faults import Fault, collapse_faults, collapse_with_classes
 
@@ -89,7 +89,8 @@ def run_atpg(circuit: Circuit, *,
              faults: Optional[Sequence[Fault]] = None,
              fill_seed: int = 12345,
              max_faults: Optional[int] = None,
-             keep_sequences: bool = True) -> ATPGStats:
+             keep_sequences: bool = True,
+             sim_backend: str = "compiled") -> ATPGStats:
     """Generate tests for every fault; returns aggregate statistics.
 
     ``mode`` is 'none' (no sequential learning), 'known' or 'forbidden'
@@ -104,6 +105,8 @@ def run_atpg(circuit: Circuit, *,
     generated vectors after fault simulation (suite runs over large
     circuits would otherwise hold every test in memory);
     :attr:`ATPGStats.sequences_total` counts them either way.
+    ``sim_backend`` picks the fault-dropping simulator ('compiled' or
+    'reference'); detected/untestable/aborted counts are identical.
     """
     if config is not None:
         mode = config.mode
@@ -112,6 +115,7 @@ def run_atpg(circuit: Circuit, *,
         fill_seed = config.fill_seed
         max_faults = config.max_faults
         keep_sequences = config.keep_sequences
+        sim_backend = config.sim_backend
     start = time.perf_counter()
     classes = None
     if faults is None:
@@ -129,7 +133,7 @@ def run_atpg(circuit: Circuit, *,
                           relations=relations if mode != "none" else None,
                           mode=mode, backtrack_limit=backtrack_limit,
                           max_frames=max_frames)
-    simulator = FaultSimulator(circuit)
+    simulator = make_fault_simulator(circuit, backend=sim_backend)
     rng = random.Random(fill_seed)
     input_names = [circuit.nodes[i].name for i in circuit.inputs]
 
@@ -224,5 +228,7 @@ def compare_modes(circuit: Circuit, learned: LearnResult, *,
                 backtrack_limit=limit, max_frames=max_frames,
                 max_faults=max_faults,
                 fill_seed=config.fill_seed if config else 12345,
-                keep_sequences=config.keep_sequences if config else True))
+                keep_sequences=config.keep_sequences if config else True,
+                sim_backend=(config.sim_backend if config
+                             else "compiled")))
     return rows

@@ -31,6 +31,7 @@ from .circuit.netlist import Circuit
 from .core import LearnConfig
 from .flow import (
     ATPG_MODES,
+    SIM_BACKENDS,
     ArtifactError,
     ATPGConfig,
     CircuitResolveError,
@@ -56,8 +57,11 @@ def _print_json(payload) -> None:
 
 def _session(args, learn_config: Optional[LearnConfig] = None,
              atpg_config: Optional[ATPGConfig] = None) -> Session:
+    atpg_config = atpg_config or ATPGConfig()
+    atpg_config.sim_backend = getattr(args, "backend",
+                                      atpg_config.sim_backend)
     config = ReproConfig(learn=learn_config or LearnConfig(),
-                         atpg=atpg_config or ATPGConfig(),
+                         atpg=atpg_config,
                          retime=getattr(args, "retime", 0))
     return Session(args.circuit, config=config)
 
@@ -162,7 +166,8 @@ def _cmd_suite(args) -> int:
         learn=LearnConfig(max_frames=args.max_frames),
         atpg=ATPGConfig(backtrack_limit=args.backtrack_limit,
                         max_frames=args.window,
-                        max_faults=args.max_faults),
+                        max_faults=args.max_faults,
+                        sim_backend=args.backend),
         retime=args.retime)
     modes = list(ATPG_MODES) if args.mode == "all" else [args.mode]
     progress = None
@@ -235,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="apply N backward-retiming moves first")
         add_json(p)
 
+    def add_backend(p):
+        p.add_argument("--backend", default="compiled",
+                       choices=SIM_BACKENDS,
+                       help="simulation backend (compiled kernels or "
+                            "the reference interpreters; identical "
+                            "results)")
+
     p = sub.add_parser("list", help="list built-in circuits")
     add_json(p)
 
@@ -243,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("learn", help="run sequential learning")
     add_circuit(p)
+    add_backend(p)
     p.add_argument("--max-frames", type=int, default=50)
     p.add_argument("--no-multi", action="store_true",
                    help="disable multiple-node learning")
@@ -255,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the learning artifact as JSON")
 
     def add_atpg_knobs(p):
+        add_backend(p)
         p.add_argument("--backtrack-limit", type=int, default=30)
         p.add_argument("--window", type=int, default=8,
                        help="maximum time-frame window")
@@ -283,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("untestable", help="tie gates vs FIRES")
     add_circuit(p)
+    add_backend(p)
 
     p = sub.add_parser("analyze", help="density of encoding")
     add_circuit(p)

@@ -163,12 +163,19 @@ class LearnResult:
 
 
 class SequentialLearner:
-    """Run the full learning flow on one circuit."""
+    """Run the full learning flow on one circuit.
+
+    ``sim_backend`` selects the pattern simulator behind equivalence
+    signatures ('reference' or 'compiled', see :mod:`repro.sim.compiled`);
+    learned knowledge is bit-identical either way.
+    """
 
     def __init__(self, circuit: Circuit,
-                 config: Optional[LearnConfig] = None):
+                 config: Optional[LearnConfig] = None,
+                 sim_backend: str = "compiled"):
         self.circuit = circuit
         self.config = config or LearnConfig()
+        self.sim_backend = sim_backend
 
     # ------------------------------------------------------------------
     def learn(self) -> LearnResult:
@@ -211,7 +218,8 @@ class SequentialLearner:
             equivalences = find_equivalences(
                 circuit, ties, width=cfg.equivalence_width,
                 max_support=cfg.equivalence_max_support,
-                rng=random.Random(cfg.seed))
+                rng=random.Random(cfg.seed),
+                backend=self.sim_backend)
         phase_times["equivalence"] = time.perf_counter() - t0
 
         # Phase 4: multiple-node learning with coupled knowledge.
@@ -244,7 +252,7 @@ class SequentialLearner:
         return result
 
 
-def learn(circuit: Circuit, config: Optional[LearnConfig] = None
-          ) -> LearnResult:
+def learn(circuit: Circuit, config: Optional[LearnConfig] = None,
+          sim_backend: str = "compiled") -> LearnResult:
     """Convenience one-shot: ``learn(circuit).relations`` etc."""
-    return SequentialLearner(circuit, config).learn()
+    return SequentialLearner(circuit, config, sim_backend).learn()

@@ -108,17 +108,20 @@ def verify_pair(circuit: Circuit, a: int, b: int,
 
 def find_equivalences(circuit: Circuit, ties: Optional[TieSet] = None,
                       *, width: int = 256, max_support: int = 14,
-                      rng: Optional[random.Random] = None
+                      rng: Optional[random.Random] = None,
+                      backend: str = "reference"
                       ) -> Dict[int, Tuple[int, int]]:
     """Equivalence classes over combinational gates.
 
     Returns the :attr:`repro.sim.eventsim.Coupling.equiv` mapping
     ``nid -> (class id, polarity)``.  Tied gates are excluded (they are
     constants, handled by the tie mechanism); classes with a single member
-    are dropped.
+    are dropped.  ``backend`` selects the signature simulator (the
+    candidate buckets are bit-identical either way); exact verification
+    stays on the cone-limited evaluator regardless.
     """
     rng = rng or random.Random(987654321)
-    sigs = signatures(circuit, width, rng)
+    sigs = signatures(circuit, width, rng, backend=backend)
     full = (1 << width) - 1
     tied = set(ties.combinational()) if ties is not None else set()
     buckets: Dict[int, List[int]] = {}

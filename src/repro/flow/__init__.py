@@ -17,7 +17,13 @@ remain as the underlying primitives)::
 * :mod:`repro.flow.session` -- :class:`Session`, :func:`run_suite`
 """
 
-from .config import ATPG_MODES, ATPGConfig, ConfigError, ReproConfig
+from .config import (
+    ATPG_MODES,
+    SIM_BACKENDS,
+    ATPGConfig,
+    ConfigError,
+    ReproConfig,
+)
 from .serialize import (
     ArtifactError,
     StaleArtifactError,
@@ -39,7 +45,8 @@ from .session import (
 )
 
 __all__ = [
-    "ATPG_MODES", "ATPGConfig", "ConfigError", "ReproConfig",
+    "ATPG_MODES", "SIM_BACKENDS", "ATPGConfig", "ConfigError",
+    "ReproConfig",
     "ArtifactError", "StaleArtifactError",
     "atpg_stats_from_dict", "atpg_stats_to_dict",
     "circuit_fingerprint",

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 from ..core.engine import LearnConfig
+from ..sim.compiled import SIM_BACKENDS
 
 #: Legal values for :attr:`ATPGConfig.mode`.
 ATPG_MODES = ("none", "forbidden", "known")
@@ -53,12 +54,21 @@ class ATPGConfig:
     #: Off by default so batch/suite runs over large circuits don't hold
     #: every vector in memory; ``sequences_total`` is counted either way.
     keep_sequences: bool = False
+    #: Simulation backend for fault simulation and learning signatures:
+    #: 'compiled' (straight-line kernels, the default) or 'reference'
+    #: (the original interpreters).  Results are bit-identical; the
+    #: reference backend exists for differential testing and debugging.
+    sim_backend: str = "compiled"
 
     def validate(self) -> "ATPGConfig":
         """Raise :class:`ConfigError` on out-of-range values."""
         if self.mode not in ATPG_MODES:
             raise ConfigError(
                 f"mode must be one of {ATPG_MODES}, got {self.mode!r}")
+        if self.sim_backend not in SIM_BACKENDS:
+            raise ConfigError(
+                f"sim_backend must be one of {SIM_BACKENDS}, "
+                f"got {self.sim_backend!r}")
         if self.backtrack_limit < 1:
             raise ConfigError("backtrack_limit must be >= 1")
         if self.max_frames < 1:

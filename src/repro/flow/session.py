@@ -40,7 +40,7 @@ from ..circuit import (
 )
 from ..circuit.netlist import Circuit, CircuitError
 from ..core.engine import LearnResult, learn
-from ..sim.faultsim import FaultSimulator
+from ..sim.compiled import make_fault_simulator
 from .config import ATPG_MODES, ConfigError, ReproConfig
 from .serialize import load_learn_result, save_learn_result
 
@@ -154,12 +154,18 @@ class Session:
     # learn
     # ------------------------------------------------------------------
     def learn(self) -> LearnResult:
-        """Stage ``learn`` (cached; skipped when an artifact is loaded)."""
+        """Stage ``learn`` (cached; skipped when an artifact is loaded).
+
+        The simulation backend behind equivalence signatures follows
+        ``config.atpg.sim_backend``; learned knowledge is identical for
+        either backend.
+        """
         if self._learned is None:
             circuit = self.circuit
             self._learned = self._stage(
                 "learn",
-                lambda: learn(circuit, self.config.learn),
+                lambda: learn(circuit, self.config.learn,
+                              sim_backend=self.config.atpg.sim_backend),
                 lambda r: dict(r.summary()))
         return self._learned
 
@@ -263,7 +269,8 @@ class Session:
 
         def grade() -> Dict[str, object]:
             faults = collapse_faults(circuit)
-            simulator = FaultSimulator(circuit)
+            simulator = make_fault_simulator(
+                circuit, backend=self.config.atpg.sim_backend)
             undetected = list(faults)
             for sequence in stats.sequences:
                 if not undetected:

@@ -1,5 +1,13 @@
 """Simulation substrates: event-driven 3-valued, bit-parallel, fault sim."""
 
+from .compiled import (
+    SIM_BACKENDS,
+    CompiledCircuit,
+    CompiledFaultSimulator,
+    clear_compile_cache,
+    compile_circuit,
+    make_fault_simulator,
+)
 from .eventsim import (
     Assignment,
     Conflict,
@@ -27,6 +35,8 @@ from .values import (
 )
 
 __all__ = [
+    "SIM_BACKENDS", "CompiledCircuit", "CompiledFaultSimulator",
+    "clear_compile_cache", "compile_circuit", "make_fault_simulator",
     "Assignment", "Conflict", "Coupling", "FrameSimulator",
     "InjectionResult", "simulate_sequence",
     "FaultSimulator", "fault_coverage", "fault_simulate",

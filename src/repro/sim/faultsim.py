@@ -73,14 +73,23 @@ class FaultSimulator:
     """Bit-parallel sequential fault simulator for one circuit."""
 
     def __init__(self, circuit: Circuit, width: int = 128):
+        if width < 1:
+            raise ValueError(f"word width must be >= 1, got {width}")
         self.circuit = circuit
         self.width = width
 
     # ------------------------------------------------------------------
     def detected(self, sequence: Sequence[Dict[str, int]],
                  faults: Sequence) -> Set[int]:
-        """Indices (into ``faults``) detected by ``sequence``."""
-        good_frames = simulate_sequence(self.circuit, list(sequence))
+        """Indices (into ``faults``) detected by ``sequence``.
+
+        An empty fault list or an empty sequence detects nothing (and
+        skips the good-machine simulation).
+        """
+        sequence = list(sequence)
+        if not faults or not sequence:
+            return set()
+        good_frames = simulate_sequence(self.circuit, sequence)
         hit: Set[int] = set()
         for start in range(0, len(faults), self.width):
             batch = list(faults[start:start + self.width])
@@ -201,9 +210,16 @@ def fault_simulate(circuit: Circuit, sequence: Sequence[Dict[str, int]],
 
 def fault_coverage(circuit: Circuit,
                    sequences: Iterable[Sequence[Dict[str, int]]],
-                   faults: Sequence, width: int = 128) -> float:
-    """Fraction of ``faults`` detected by any of the ``sequences``."""
-    sim = FaultSimulator(circuit, width=width)
+                   faults: Sequence, width: int = 128,
+                   backend: str = "reference") -> float:
+    """Fraction of ``faults`` detected by any of the ``sequences``.
+
+    ``backend='compiled'`` grades through the straight-line kernels of
+    :mod:`repro.sim.compiled`; coverage is identical either way.
+    """
+    from .compiled import make_fault_simulator
+
+    sim = make_fault_simulator(circuit, width=width, backend=backend)
     hit: Set[int] = set()
     for sequence in sequences:
         remaining = [i for i in range(len(faults)) if i not in hit]

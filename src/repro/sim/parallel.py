@@ -76,12 +76,25 @@ def random_source_masks(circuit: Circuit, width: int,
 
 
 def signatures(circuit: Circuit, width: int = 256,
-               rng: Optional[random.Random] = None) -> Dict[int, int]:
-    """Random-pattern signature of every node (PIs/FFs included)."""
+               rng: Optional[random.Random] = None,
+               backend: str = "reference") -> Dict[int, int]:
+    """Random-pattern signature of every node (PIs/FFs included).
+
+    ``backend='compiled'`` evaluates through the straight-line kernels
+    of :mod:`repro.sim.compiled`; masks are bit-identical either way.
+    """
     rng = rng or random.Random(20260611)
-    return simulate_patterns(circuit,
-                             random_source_masks(circuit, width, rng),
-                             width)
+    source = random_source_masks(circuit, width, rng)
+    if backend == "compiled":
+        from .compiled import compile_circuit
+
+        return compile_circuit(circuit).simulate_patterns(source, width)
+    if backend != "reference":
+        from .compiled import SIM_BACKENDS
+
+        raise ValueError(f"unknown sim backend {backend!r}; "
+                         f"expected one of {SIM_BACKENDS}")
+    return simulate_patterns(circuit, source, width)
 
 
 def exhaustive_masks(variables: Sequence[int], width: int

@@ -1,0 +1,86 @@
+"""Edge cases both fault-simulation backends must handle identically.
+
+These paths used to rely on untested fall-through behaviour (an empty
+fault list still simulated the good machine; width 0 died inside
+``range``); now they are explicit: empty inputs give well-formed empty
+results and invalid widths fail loudly at construction.
+"""
+
+import pytest
+
+from repro.atpg.faults import Fault, collapse_faults
+from repro.circuit import random_circuit, s27
+from repro.circuit.gates import ZERO
+from repro.sim import (
+    CompiledFaultSimulator,
+    FaultSimulator,
+    fault_coverage,
+    make_fault_simulator,
+)
+
+BACKENDS = (FaultSimulator, CompiledFaultSimulator)
+
+
+def _circuit():
+    return random_circuit("edge", n_inputs=3, n_outputs=2, n_ffs=3,
+                          n_gates=14, seed=7)
+
+
+@pytest.mark.parametrize("sim_cls", BACKENDS)
+def test_empty_fault_list(sim_cls):
+    circuit = _circuit()
+    seq = [{"I0": 1, "I1": 0, "I2": 1}] * 3
+    assert sim_cls(circuit).detected(seq, []) == set()
+
+
+@pytest.mark.parametrize("sim_cls", BACKENDS)
+def test_empty_sequence(sim_cls):
+    circuit = _circuit()
+    faults = collapse_faults(circuit)
+    assert sim_cls(circuit).detected([], faults) == set()
+
+
+@pytest.mark.parametrize("sim_cls", BACKENDS)
+def test_all_x_sequence_detects_nothing(sim_cls):
+    """Unknown stimuli cannot satisfy the hard detection criterion."""
+    circuit = _circuit()
+    faults = collapse_faults(circuit)
+    assert sim_cls(circuit).detected([{}, {}, {}], faults) == set()
+
+
+@pytest.mark.parametrize("sim_cls", BACKENDS)
+def test_width_one_word(sim_cls):
+    """One machine per word: every batch holds a single fault."""
+    circuit = s27()
+    faults = collapse_faults(circuit)
+    seq = [{circuit.nodes[i].name: 1 for i in circuit.inputs}
+           for _ in range(6)]
+    wide = sim_cls(circuit, width=64).detected(seq, faults)
+    narrow = sim_cls(circuit, width=1).detected(seq, faults)
+    assert narrow == wide
+
+
+@pytest.mark.parametrize("sim_cls", BACKENDS)
+@pytest.mark.parametrize("width", (0, -3))
+def test_invalid_width_rejected(sim_cls, width):
+    with pytest.raises(ValueError, match="width"):
+        sim_cls(_circuit(), width=width)
+
+
+def test_make_fault_simulator_backends():
+    circuit = _circuit()
+    assert isinstance(make_fault_simulator(circuit, backend="reference"),
+                      FaultSimulator)
+    assert isinstance(make_fault_simulator(circuit, backend="compiled"),
+                      CompiledFaultSimulator)
+    with pytest.raises(ValueError, match="backend"):
+        make_fault_simulator(circuit, backend="numpy")
+
+
+def test_fault_coverage_empty_inputs():
+    circuit = _circuit()
+    assert fault_coverage(circuit, [], []) == 1.0
+    assert fault_coverage(circuit, [[{"I0": 1}]], []) == 1.0
+    faults = [Fault(circuit.nid("G0"), None, ZERO)]
+    assert fault_coverage(circuit, [], faults) == 0.0
+    assert fault_coverage(circuit, [[]], faults) == 0.0

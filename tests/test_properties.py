@@ -160,6 +160,80 @@ def test_atpg_untestable_claims_resist_random_search(seed):
         assert fault_simulate(circuit, seq, untestable) == set()
 
 
+# ---------------------------------------------------------------------------
+# compiled-backend packed-plane invariants
+# ---------------------------------------------------------------------------
+
+def _batch_trace(circuit, seq, faults, width, seed):
+    """Run every batch traced; returns per-batch detection-mask tapes."""
+    from repro.sim.compiled import CompiledFaultSimulator
+
+    sim = CompiledFaultSimulator(circuit, width=width)
+    good = sim._good_output_frames(seq)
+    tapes = []
+    for start in range(0, len(faults), width):
+        batch = faults[start:start + width]
+        masks = []
+
+        def on_frame(frame, m0, m1, mask, masks=masks):
+            # A machine sees 0, 1 or X -- never 0 and 1 at once.
+            for nid in range(len(m0)):
+                assert m0[nid] & m1[nid] == 0, (seed, frame, nid)
+            masks.append(mask)
+
+        sim.run_batch(seq, batch, good, on_frame=on_frame)
+        tapes.append(masks)
+    return tapes
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000))
+def test_compiled_planes_disjoint_and_dropping_monotone(seed):
+    """m0 & m1 == 0 everywhere; dropped machines never re-detect.
+
+    The detection mask may only gain bits frame over frame: once a
+    machine's fault is detected (dropped) nothing later in the sequence
+    can return it to the undetected pool or count it again.
+    """
+    from repro.atpg import collapse_faults
+
+    circuit = _random_small(seed)
+    rng = random.Random(seed)
+    inputs = [circuit.nodes[i].name for i in circuit.inputs]
+    seq = [{n: rng.randint(0, 1) for n in inputs if rng.random() < 0.9}
+           for _ in range(6)]
+    faults = collapse_faults(circuit)
+    for masks in _batch_trace(circuit, seq, faults, width=8, seed=seed):
+        for before, after in zip(masks, masks[1:]):
+            assert after & before == before, seed
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 10_000))
+def test_compiled_pattern_masks_match_scalar_eventsim(seed):
+    """Each packed pattern column equals a scalar eventsim evaluation."""
+    from repro.sim.compiled import compile_circuit
+    from repro.sim.parallel import random_source_masks
+
+    circuit = _random_small(seed)
+    rng = random.Random(seed)
+    width = 8
+    source = random_source_masks(circuit, width, rng)
+    masks = compile_circuit(circuit).simulate_patterns(source, width)
+    inputs = [circuit.nodes[i].name for i in circuit.inputs]
+    ffs = [circuit.nodes[f].name for f in circuit.ffs]
+    for i in range(width):
+        vec = {n: (source[circuit.nid(n)] >> i) & 1 for n in inputs}
+        init = {n: (source[circuit.nid(n)] >> i) & 1 for n in ffs}
+        frame = simulate_sequence(circuit, [vec], init_state=init)[0]
+        for node in circuit.nodes:
+            if node.is_combinational:
+                assert (masks[node.nid] >> i) & 1 == frame[node.name], \
+                    (seed, i, node.name)
+
+
 @settings(**SETTINGS)
 @given(st.integers(0, 10_000))
 def test_bench_roundtrip_random(seed):
