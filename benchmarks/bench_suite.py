@@ -1,0 +1,137 @@
+"""Serial-vs-parallel suite wall-clock benchmark.
+
+Runs the same spec list through ``run_suite`` with ``jobs=1`` and with a
+worker pool, checks the two reports are byte-identical in canonical
+form (wall-clock fields zeroed -- the only fields that may differ), and
+writes the wall-clock comparison to ``BENCH_suite.json`` (checked in at
+the repo root so the scaling trajectory is tracked over PRs).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py            # full
+    PYTHONPATH=src python benchmarks/bench_suite.py --tiny     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_suite.py --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import LearnConfig
+from repro.flow import ATPGConfig, ReproConfig, run_suite, \
+    write_json_atomic
+from repro.sim import clear_compile_cache
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_suite.json")
+
+#: The acceptance workload: >= 8 library circuits through learning +
+#: ATPG.  Half scale keeps the full bench in tens of seconds while
+#: leaving each circuit heavy enough that sharding pays.
+FULL_SPECS = ["like:s382@0.5", "like:s386@0.5", "like:s400@0.5",
+              "like:s444@0.5", "like:s641@0.5", "like:s713@0.5",
+              "like:s953@0.5", "like:s967@0.5"]
+
+TINY_SPECS = ["figure1", "s27", "like:s382@0.25", "like:s386@0.25"]
+
+
+def build_config(tiny: bool) -> ReproConfig:
+    if tiny:
+        return ReproConfig(
+            learn=LearnConfig(max_frames=5),
+            atpg=ATPGConfig(mode="forbidden", backtrack_limit=5,
+                            max_frames=3, max_faults=20))
+    return ReproConfig(
+        learn=LearnConfig(max_frames=20),
+        atpg=ATPGConfig(mode="forbidden", backtrack_limit=10,
+                        max_frames=5, max_faults=200))
+
+
+def timed_suite(specs, config, jobs):
+    # Each leg starts with a cold kernel cache.  Under fork, pool
+    # workers inherit the parent's compiled kernels; without this the
+    # serial leg would pre-pay the parallel leg's compilation and
+    # inflate the speedup.
+    clear_compile_cache()
+    t0 = time.perf_counter()
+    report = run_suite(specs, config=config, modes=("forbidden",),
+                       jobs=jobs)
+    return time.perf_counter() - t0, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="small circuits / tiny ATPG budget "
+                             "(CI smoke)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel leg "
+                             "(0 = all CPU cores)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    specs = TINY_SPECS if args.tiny else FULL_SPECS
+    config = build_config(args.tiny)
+
+    serial_s, serial_report = timed_suite(specs, config, jobs=1)
+    parallel_s, parallel_report = timed_suite(specs, config,
+                                              jobs=args.jobs)
+
+    serial_doc = json.dumps(serial_report.canonical_dict(),
+                            sort_keys=True)
+    parallel_doc = json.dumps(parallel_report.canonical_dict(),
+                              sort_keys=True)
+    identical = serial_doc == parallel_doc
+    speedup = round(serial_s / parallel_s, 2) if parallel_s else 0.0
+
+    cpu_count = os.cpu_count() or 1
+    payload = {
+        "format": "repro/bench-suite",
+        "version": 1,
+        "tiny": args.tiny,
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "jobs": args.jobs,
+        "circuits": len(serial_report.reports),
+        "suite_errors": len(serial_report.errors),
+        "specs": specs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": speedup,
+        "identical": identical,
+    }
+    if cpu_count == 1:
+        payload["note"] = ("single-core host: wall-clock parity is the "
+                           "expected ceiling, the speedup gate applies "
+                           "on multicore machines (CI runs it there)")
+    write_json_atomic(args.out, payload)
+
+    print(f"{len(specs)} circuits, jobs={args.jobs}: "
+          f"serial {serial_s:.2f}s, parallel {parallel_s:.2f}s, "
+          f"speedup {speedup:.2f}x, identical={identical}")
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    if not identical:
+        print("FAIL: parallel report differs from serial",
+              file=sys.stderr)
+        return 1
+    # A single-core machine cannot show a wall-clock win no matter how
+    # the pool behaves; the speedup bar only applies where parallelism
+    # physically exists.
+    if not args.tiny and (os.cpu_count() or 1) > 1 and speedup < 1.2:
+        print("FAIL: parallel suite not measurably faster than serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@ Commands
 --------
 learn CIRCUIT        run sequential learning; ``--save FILE`` persists it
 atpg CIRCUIT         ATPG comparison; ``--learned FILE`` skips relearning
-suite CIRCUIT...     batch pipeline over many circuits (JSON report)
+suite CIRCUIT...     batch pipeline over many circuits (JSON report);
+                     ``--jobs N`` shards them over N worker processes
 untestable CIRCUIT   tie-gate vs FIRES untestability comparison
 analyze CIRCUIT      density of encoding (small circuits)
 stats CIRCUIT        structural statistics
@@ -168,7 +169,8 @@ def _cmd_suite(args) -> int:
                         max_frames=args.window,
                         max_faults=args.max_faults,
                         sim_backend=args.backend),
-        retime=args.retime)
+        retime=args.retime,
+        jobs=args.jobs)
     modes = list(ATPG_MODES) if args.mode == "all" else [args.mode]
     progress = None
     if not args.json:
@@ -178,9 +180,11 @@ def _cmd_suite(args) -> int:
     report = run_suite(args.circuits, config=config, modes=modes,
                        progress=progress)
     if args.out:
-        report.save(args.out)
+        report.save(args.out, canonical=args.canonical)
     if args.json:
-        _print_json({"command": "suite", **report.to_dict()})
+        payload = (report.canonical_dict() if args.canonical
+                   else report.to_dict())
+        _print_json({"command": "suite", **payload})
     else:
         print("\nsuite results:")
         for row in report.rows():
@@ -293,7 +297,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_json(p)
     add_atpg_knobs(p)
     p.add_argument("--out", metavar="FILE",
-                   help="also write the suite report JSON to FILE")
+                   help="also write the suite report JSON to FILE "
+                        "(atomic write)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard circuits over N worker processes "
+                        "(0 = one per CPU core; default 1 = serial; "
+                        "the report is identical for every N -- CLI "
+                        "specs are strings, which always shard safely)")
+    p.add_argument("--canonical", action="store_true",
+                   help="zero volatile wall-clock fields so the report "
+                        "is byte-identical across runs and --jobs "
+                        "values")
 
     p = sub.add_parser("untestable", help="tie gates vs FIRES")
     add_circuit(p)

@@ -34,14 +34,23 @@ from .serialize import (
     learn_result_to_dict,
     load_learn_result,
     save_learn_result,
+    write_json_atomic,
 )
 from .session import (
     CircuitResolveError,
     Session,
     StageRecord,
+    StageTracker,
     SuiteReport,
     resolve_circuit,
     run_suite,
+)
+from .parallel_suite import (
+    QueueProgressAdapter,
+    SuiteError,
+    SuiteTask,
+    SuiteTaskResult,
+    run_suite_parallel,
 )
 
 __all__ = [
@@ -51,7 +60,9 @@ __all__ = [
     "atpg_stats_from_dict", "atpg_stats_to_dict",
     "circuit_fingerprint",
     "learn_result_from_dict", "learn_result_to_dict",
-    "load_learn_result", "save_learn_result",
-    "CircuitResolveError", "Session", "StageRecord", "SuiteReport",
-    "resolve_circuit", "run_suite",
+    "load_learn_result", "save_learn_result", "write_json_atomic",
+    "CircuitResolveError", "Session", "StageRecord", "StageTracker",
+    "SuiteReport", "resolve_circuit", "run_suite",
+    "QueueProgressAdapter", "SuiteError", "SuiteTask",
+    "SuiteTaskResult", "run_suite_parallel",
 ]

@@ -93,10 +93,23 @@ class ReproConfig:
     atpg: ATPGConfig = field(default_factory=ATPGConfig)
     #: Backward-retiming moves applied to the circuit after resolution.
     retime: int = 0
+    #: Worker processes for :func:`~repro.flow.session.run_suite`:
+    #: ``1`` runs circuits serially in-process (the default), ``N > 1``
+    #: shards them over N workers, ``0`` means one worker per CPU core.
+    #: A suite-execution knob only -- per-circuit sessions always run
+    #: (and report) with ``jobs=1``, so suite reports do not depend on
+    #: the worker count.
+    jobs: int = 1
 
     def validate(self) -> "ReproConfig":
         if self.retime < 0:
             raise ConfigError("retime must be >= 0")
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
+            raise ConfigError(
+                f"jobs must be an int, got {self.jobs!r}")
+        if self.jobs < 0:
+            raise ConfigError(
+                f"jobs must be >= 0 (0 = all CPU cores), got {self.jobs}")
         if self.learn.max_frames < 1:
             raise ConfigError("learn.max_frames must be >= 1")
         self.atpg.validate()
@@ -107,12 +120,13 @@ class ReproConfig:
             "learn": self.learn.to_dict(),
             "atpg": self.atpg.to_dict(),
             "retime": self.retime,
+            "jobs": self.jobs,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ReproConfig":
         data = dict(data)
-        unknown = set(data) - {"learn", "atpg", "retime"}
+        unknown = set(data) - {"learn", "atpg", "retime", "jobs"}
         if unknown:
             raise ConfigError(
                 f"unknown ReproConfig keys: {sorted(unknown)}")
@@ -130,4 +144,5 @@ class ReproConfig:
             atpg=(atpg if isinstance(atpg, ATPGConfig)
                   else ATPGConfig.from_dict(atpg)),
             retime=data.get("retime", 0),
+            jobs=data.get("jobs", 1),
         ).validate()

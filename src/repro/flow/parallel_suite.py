@@ -1,0 +1,335 @@
+"""Shard a suite run across a multiprocessing worker pool.
+
+:func:`repro.flow.session.run_suite` walks circuit specs one at a time
+on one core; at benchmark-suite scale (learning + ATPG + fault
+simulation over many sequential circuits) the circuits are independent,
+so the suite is embarrassingly parallel.  This module is the execution
+layer behind ``run_suite(jobs=N)`` / ``repro suite --jobs N``:
+
+* :class:`SuiteTask` -- one picklable unit of work: spec index, the
+  spec itself (a name string or a :class:`~repro.circuit.netlist.
+  Circuit`), the :class:`~repro.flow.config.ReproConfig` and the ATPG
+  modes to run.
+* :func:`run_task` -- executes one task through a fresh
+  :class:`~repro.flow.session.Session` and *always* returns a
+  :class:`SuiteTaskResult`: either the session report or an
+  ``{"spec", "error", "stage"}`` record.  A failing circuit never takes
+  the suite down.
+* :class:`QueueProgressAdapter` -- workers forward their ``progress``
+  events into a multiprocessing queue; a parent-side drain thread
+  replays them through the caller's ordinary
+  :data:`~repro.flow.session.ProgressHook`.  Events from different
+  workers interleave in completion order (they are UI, not data).
+* :func:`run_suite_parallel` -- the pool driver.  Results are merged by
+  input index, so ``SuiteReport.reports`` / ``.errors`` come out in
+  spec order and the report content is identical to a serial run for
+  every worker count (byte-identical via
+  :meth:`~repro.flow.session.SuiteReport.canonical_dict`, which zeroes
+  only wall-clock fields).
+
+Workers are separate processes, so each warms its *own* compiled-kernel
+cache (:func:`repro.sim.compiled.warm_cache`): the exec-generated
+kernels are per-process state and are never shipped across the pool.
+
+A worker that dies outright (killed, segfault) breaks the whole pool,
+and every in-flight future raises ``BrokenProcessPool`` -- the culprit
+circuit and its innocent pool-mates are indistinguishable at that
+point.  The driver recovers in two steps: the tainted tasks are first
+resubmitted together to one fresh full-width pool (innocents keep
+running in parallel), and anything that pool also fails to finish is
+retried alone in a single-worker pool -- a task that breaks its own
+solo pool is definitively the one that killed it and is recorded as a
+per-circuit error with ``stage="worker"``.  A dying worker fails its
+circuit, never the suite.  The same per-circuit containment applies to
+dispatch failures (``stage="dispatch"``): a spec that cannot be pickled
+across the pool -- e.g. a hand-built :class:`Circuit` carrying an
+unpicklable attribute -- fails that circuit only (the serial path,
+which never pickles, would run it).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..circuit.netlist import Circuit
+from ..sim.compiled import warm_cache
+from .config import ATPG_MODES, ReproConfig
+from .session import (
+    ProgressHook,
+    Session,
+    StageTracker,
+    SuiteReport,
+    error_record,
+)
+
+
+
+class SuiteError(RuntimeError):
+    """First per-circuit failure of a ``keep_going=False`` parallel run.
+
+    The serial path re-raises the original exception as it happens; a
+    pool cannot (the failure is a dict shipped back from a worker), so
+    it finishes the batch and raises this with the first failing spec --
+    first by input order, which is deterministic, unlike completion
+    order.
+    """
+
+
+@dataclass(frozen=True)
+class SuiteTask:
+    """One picklable unit of suite work: one spec through the pipeline."""
+
+    index: int
+    spec: Union[str, Circuit]
+    config: ReproConfig
+    modes: Tuple[str, ...]
+
+
+@dataclass
+class SuiteTaskResult:
+    """What a worker sends back: exactly one of report / error is set."""
+
+    index: int
+    report: Optional[Dict[str, object]] = None
+    error: Optional[Dict[str, str]] = None
+
+
+def run_task(task: SuiteTask,
+             progress: Optional[ProgressHook] = None,
+             reraise: bool = False) -> SuiteTaskResult:
+    """Run one task to completion: the whole per-circuit pipeline.
+
+    There is exactly one copy of this body -- pool workers and the
+    serial loop in :func:`~repro.flow.session.run_suite` both run it,
+    which is what keeps serial and sharded reports (including failure
+    stage attribution) byte-identical.  By default a circuit failure is
+    returned as an error record, never raised; ``reraise=True`` is the
+    serial ``keep_going=False`` contract of propagating the original
+    exception (workers never set it -- an exception does not reliably
+    survive pickling back to the parent).
+    """
+    tracker = StageTracker(progress)
+    try:
+        session = Session(task.spec, config=task.config, progress=tracker)
+        if task.config.atpg.sim_backend == "compiled":
+            # Compile kernels before the pipeline hot loops rather than
+            # inside the first stage that needs them (a pool worker's
+            # cache may start empty).
+            warm_cache(session.circuit)
+        session.compare(list(task.modes))
+        return SuiteTaskResult(index=task.index, report=session.report())
+    except Exception as exc:
+        if reraise:
+            raise
+        return SuiteTaskResult(
+            index=task.index,
+            error=error_record(task.spec, str(exc), tracker.stage))
+
+
+# ----------------------------------------------------------------------
+# worker-side plumbing
+# ----------------------------------------------------------------------
+_worker_queue = None
+
+
+def _init_worker(progress_queue) -> None:
+    """Pool initializer: remember the parent's progress queue, if any."""
+    global _worker_queue
+    _worker_queue = progress_queue
+
+
+def _run_task_in_worker(task: SuiteTask) -> SuiteTaskResult:
+    progress: Optional[ProgressHook] = None
+    if _worker_queue is not None:
+        queue = _worker_queue
+
+        def progress(stage: str, event: str,
+                     payload: Optional[dict]) -> None:
+            queue.put((stage, event, payload))
+
+    return run_task(task, progress)
+
+
+# ----------------------------------------------------------------------
+# parent-side plumbing
+# ----------------------------------------------------------------------
+class QueueProgressAdapter:
+    """Replay worker progress events through a parent-side hook.
+
+    Workers ``put`` raw ``(stage, event, payload)`` tuples on
+    :attr:`queue`; :meth:`start` spins up a drain thread that calls the
+    wrapped hook with the unchanged serial signature.  :meth:`close`
+    (idempotent) flushes the queue, stops the thread and releases the
+    queue's feeder resources -- events already enqueued are always
+    delivered before ``close`` returns.
+    """
+
+    _SENTINEL = None
+
+    def __init__(self, hook: ProgressHook, ctx=None):
+        self.hook = hook
+        self.queue = (ctx or multiprocessing.get_context()).Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    def start(self) -> None:
+        if self._thread is None and not self._closed:
+            self._thread = threading.Thread(
+                target=self._drain, name="repro-suite-progress",
+                daemon=True)
+            self._thread.start()
+
+    #: How long close() waits for the drain thread.  A worker killed
+    #: mid-``put`` can leave the queue's shared pipe lock held forever;
+    #: progress is UI, so after this deadline the daemon thread is
+    #: abandoned rather than hanging the suite.
+    CLOSE_TIMEOUT_S = 5.0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self.queue.put(self._SENTINEL)
+            self._thread.join(timeout=self.CLOSE_TIMEOUT_S)
+            self._thread = None
+        # Never block on the queue's feeder either (its pipe lock may
+        # be held by a dead worker); any still-buffered events are UI.
+        self.queue.cancel_join_thread()
+        self.queue.close()
+
+    def _drain(self) -> None:
+        while True:
+            try:
+                item = self.queue.get()
+                if item is self._SENTINEL:
+                    return
+                stage, event, payload = item
+            except Exception:
+                # A worker killed mid-put corrupted the stream; stop
+                # draining (remaining progress events are lost, the
+                # suite is not) rather than risk spinning on a dead
+                # pipe.
+                return
+            try:
+                self.hook(stage, event, payload)
+            except Exception:
+                # A throwing UI hook must not wedge the drain thread
+                # (and with it close()); the pipeline result is
+                # unaffected either way.
+                pass
+
+
+def run_suite_parallel(specs: Sequence[Union[str, Circuit]],
+                       config: Optional[ReproConfig] = None,
+                       modes: Sequence[str] = ATPG_MODES,
+                       progress: Optional[ProgressHook] = None,
+                       keep_going: bool = True,
+                       jobs: int = 0) -> SuiteReport:
+    """Run the suite sharded over ``jobs`` worker processes.
+
+    Same contract as :func:`~repro.flow.session.run_suite` with two
+    parallel-specific notes: ``jobs=0`` means one worker per CPU core,
+    and with ``keep_going=False`` the batch still runs to completion
+    before the first failure (by input order) is raised as
+    :class:`SuiteError`.
+    """
+    config = (config or ReproConfig()).validate()
+    # ReproConfig.validate is the single source of the jobs rule.
+    jobs = replace(config, jobs=jobs).validate().jobs
+    config = replace(config, jobs=1)
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    modes = tuple(modes)
+    tasks = [SuiteTask(index=index, spec=spec, config=config, modes=modes)
+             for index, spec in enumerate(specs)]
+
+    ctx = multiprocessing.get_context()
+    adapter = (QueueProgressAdapter(progress, ctx)
+               if progress is not None else None)
+    results: Dict[int, SuiteTaskResult] = {}
+    initargs = (adapter.queue if adapter is not None else None,)
+
+    def dispatch_error(task: SuiteTask, exc: BaseException) -> None:
+        # The worker catches pipeline failures itself, so anything that
+        # surfaces on the future besides a broken pool is a dispatch
+        # problem -- typically an unpicklable spec.  It fails this
+        # circuit only.
+        results[task.index] = SuiteTaskResult(
+            index=task.index,
+            error=error_record(task.spec, str(exc), "dispatch"))
+
+    def run_batch(batch: List[SuiteTask],
+                  workers: int) -> List[SuiteTask]:
+        """Run a batch in one fresh pool; return the tasks a pool break
+        left unresolved (culprit and innocent alike), in input order."""
+        tainted: List[SuiteTask] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(batch)),
+                                 mp_context=ctx,
+                                 initializer=_init_worker,
+                                 initargs=initargs) as pool:
+            futures = []
+            for task in batch:
+                try:
+                    futures.append(
+                        (pool.submit(_run_task_in_worker, task), task))
+                except BrokenProcessPool:
+                    tainted.append(task)
+                except Exception as exc:
+                    dispatch_error(task, exc)
+            # Workers fork/spawn during submit; starting the drain
+            # thread after keeps pool creation single-threaded.
+            if adapter is not None:
+                adapter.start()
+            for future, task in futures:
+                try:
+                    results[task.index] = future.result()
+                except BrokenProcessPool:
+                    tainted.append(task)
+                except Exception as exc:
+                    dispatch_error(task, exc)
+        return sorted(tainted, key=lambda task: task.index)
+
+    try:
+        suspects = run_batch(tasks, jobs) if tasks else []
+        if suspects:
+            # One wide retry first: a single death taints every
+            # in-flight pool-mate, and most of those are innocents that
+            # should keep running in parallel, not one-at-a-time.
+            suspects = run_batch(suspects, jobs)
+        # Whatever a fresh pool still could not finish gets a solo
+        # single-worker pool: a task that breaks its own pool is
+        # definitively the one that killed it.
+        for task in suspects:
+            if run_batch([task], 1):
+                results[task.index] = SuiteTaskResult(
+                    index=task.index,
+                    error=error_record(
+                        task.spec,
+                        "worker process died while running this circuit",
+                        "worker"))
+    finally:
+        if adapter is not None:
+            adapter.close()
+
+    report = SuiteReport()
+    first_error: Optional[Dict[str, str]] = None
+    for task in tasks:
+        result = results[task.index]
+        if result.error is not None:
+            if first_error is None:
+                first_error = result.error
+            report.errors.append(dict(result.error))
+        else:
+            report.reports.append(result.report)
+    if first_error is not None and not keep_going:
+        raise SuiteError(
+            f"{first_error['spec']} failed during {first_error['stage']}: "
+            f"{first_error['error']}")
+    return report

@@ -25,7 +25,9 @@ themselves consume, and they dwarf the useful payload.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 from typing import Dict, List, Optional
 
 from ..atpg.driver import ATPGStats
@@ -44,6 +46,53 @@ STATS_FORMAT = "repro/atpg-stats"
 
 class ArtifactError(ValueError):
     """Raised for malformed or incompatible serialized artifacts."""
+
+
+#: Disambiguates concurrent temp files within one process; the pid in
+#: the name separates processes.
+_TMP_IDS = itertools.count()
+
+
+def write_json_atomic(path, payload: Dict[str, object]) -> None:
+    """Write ``payload`` as JSON without ever exposing a partial file.
+
+    The document is written to a temporary file in the destination
+    directory and ``os.replace``-d into place, so a crash (or full disk)
+    mid-write leaves either the previous artifact or nothing -- never a
+    truncated JSON document that a later load would reject.  The file is
+    created with mode ``0o666`` so the kernel's umask yields the same
+    permissions a plain ``open(path, "w")`` would have.
+    """
+    path = os.fspath(path)
+    tmp_path = None
+    try:
+        while True:
+            candidate = f"{path}.{os.getpid()}.{next(_TMP_IDS)}.tmp"
+            try:
+                fd = os.open(candidate,
+                             os.O_WRONLY | os.O_CREAT | os.O_EXCL,
+                             0o666)
+            except FileExistsError:
+                continue  # stale leftover from a recycled pid
+            except OSError as exc:
+                # Surface the destination, not the internal temp name,
+                # keeping the subclass and errno callers match on.
+                raise type(exc)(
+                    exc.errno, f"cannot write: {exc.strerror or exc}",
+                    path) from exc
+            tmp_path = candidate
+            break
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if tmp_path is not None:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        raise
 
 
 class StaleArtifactError(ArtifactError):
@@ -188,10 +237,8 @@ def _rebuild_body(data: Dict[str, object], circuit: Circuit,
 
 
 def save_learn_result(result: LearnResult, path) -> None:
-    """Write a learning artifact as JSON."""
-    with open(path, "w") as handle:
-        json.dump(learn_result_to_dict(result), handle, indent=1)
-        handle.write("\n")
+    """Write a learning artifact as JSON (atomically)."""
+    write_json_atomic(path, learn_result_to_dict(result))
 
 
 def load_learn_result(path, circuit: Circuit) -> LearnResult:

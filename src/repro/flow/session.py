@@ -23,7 +23,8 @@ whole run.
 
 from __future__ import annotations
 
-import json
+import os
+import re
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -42,7 +43,11 @@ from ..circuit.netlist import Circuit, CircuitError
 from ..core.engine import LearnResult, learn
 from ..sim.compiled import make_fault_simulator
 from .config import ATPG_MODES, ConfigError, ReproConfig
-from .serialize import load_learn_result, save_learn_result
+from .serialize import (
+    load_learn_result,
+    save_learn_result,
+    write_json_atomic,
+)
 
 #: progress(stage_name, "start" | "end", payload_or_None)
 ProgressHook = Callable[[str, str, Optional[dict]], None]
@@ -50,6 +55,55 @@ ProgressHook = Callable[[str, str, Optional[dict]], None]
 
 class CircuitResolveError(ValueError):
     """A circuit spec that cannot be turned into a circuit."""
+
+
+#: Memory addresses in exception text (e.g. pickling errors quoting an
+#: object repr) differ every run; error records are part of the
+#: deterministic report contract, so they are masked.
+_ADDRESSES = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def error_record(spec, error: str, stage: str) -> Dict[str, str]:
+    """The one shape of a per-circuit failure (``SuiteReport.errors``).
+
+    Serial and sharded suite paths must emit byte-identical records, so
+    the schema lives in exactly one place.  A :class:`Circuit` spec is
+    recorded by its name -- its default repr carries a memory address,
+    which would differ run to run and break report determinism -- and
+    addresses inside the error text are masked for the same reason.
+    """
+    return {"spec": str(getattr(spec, "name", spec)),
+            "error": _ADDRESSES.sub("0x...", error), "stage": stage}
+
+
+class StageTracker:
+    """Progress passthrough that remembers the innermost started stage.
+
+    Suite runners wrap the user's hook in one of these so a mid-pipeline
+    failure can be attributed to the stage that was running
+    (``SuiteReport.errors[*]["stage"]``).  Before any stage starts the
+    position is ``"config"`` -- the only work that happens there is
+    session construction, i.e. config validation.
+
+    Progress hooks are UI, not data: an exception thrown by the wrapped
+    hook is suppressed here, exactly as the parallel path's queue drain
+    thread suppresses it, so a broken hook can never make serial and
+    sharded suite reports diverge.
+    """
+
+    def __init__(self, inner: Optional[ProgressHook] = None):
+        self.inner = inner
+        self.stage = "config"
+
+    def __call__(self, stage: str, event: str,
+                 payload: Optional[dict]) -> None:
+        if event == "start":
+            self.stage = stage
+        if self.inner is not None:
+            try:
+                self.inner(stage, event, payload)
+            except Exception:
+                pass
 
 
 def resolve_circuit(spec: Union[str, Circuit],
@@ -320,9 +374,39 @@ class Session:
 # ----------------------------------------------------------------------
 # suites
 # ----------------------------------------------------------------------
+#: Wall-clock keys zeroed by :meth:`SuiteReport.canonical_dict`.  These
+#: are the only report fields that vary run to run (the pipeline itself
+#: is seeded); everything else must be identical for the same specs and
+#: config regardless of worker count.
+VOLATILE_KEYS = frozenset(
+    {"elapsed_s", "cpu_s", "elapsed", "phase_times",
+     "tie_cpu_s", "fires_cpu_s"})
+
+
+def _canonicalize(value):
+    """Deep-copy ``value`` with every volatile timing field zeroed."""
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if key in VOLATILE_KEYS:
+                out[key] = ({name: 0.0 for name in item}
+                            if isinstance(item, dict) else 0.0)
+            else:
+                out[key] = _canonicalize(item)
+        return out
+    if isinstance(value, list):
+        return [_canonicalize(item) for item in value]
+    return value
+
+
 @dataclass
 class SuiteReport:
-    """Batch results: one :meth:`Session.report` per circuit spec."""
+    """Batch results: one :meth:`Session.report` per circuit spec.
+
+    ``reports`` and ``errors`` are both kept in input-spec order, so the
+    document is deterministic for a given spec list and config no matter
+    how the suite was executed (serially or sharded over workers).
+    """
 
     reports: List[Dict[str, object]] = field(default_factory=list)
     errors: List[Dict[str, str]] = field(default_factory=list)
@@ -345,33 +429,80 @@ class SuiteReport:
             "reports": list(self.reports),
         }
 
-    def save(self, path) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=1)
-            handle.write("\n")
+    def canonical_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` with wall-clock fields zeroed.
+
+        Two runs over the same specs and config -- any ``jobs`` value,
+        any machine -- produce byte-identical canonical documents; only
+        the timing fields in :data:`VOLATILE_KEYS` ever differ between
+        runs, and this form zeroes them (keeping the keys, so the schema
+        is unchanged).
+        """
+        return _canonicalize(self.to_dict())
+
+    def save(self, path, canonical: bool = False) -> None:
+        """Write the report as JSON, atomically (temp file + rename)."""
+        write_json_atomic(
+            path, self.canonical_dict() if canonical else self.to_dict())
 
 
 def run_suite(specs: Sequence[Union[str, Circuit]],
               config: Optional[ReproConfig] = None,
               modes: Sequence[str] = ATPG_MODES,
               progress: Optional[ProgressHook] = None,
-              keep_going: bool = True) -> SuiteReport:
+              keep_going: bool = True,
+              jobs: Optional[int] = None) -> SuiteReport:
     """Run the full pipeline over many circuit specs.
 
     Each spec gets its own :class:`Session` (learning runs once per
-    circuit and is shared by every ATPG mode).  With ``keep_going`` a
-    spec that fails to resolve is recorded in :attr:`SuiteReport.errors`
-    and the suite continues; otherwise the error propagates.
+    circuit and is shared by every ATPG mode).  The suite-wide config is
+    validated eagerly -- a bad ``config``/``jobs`` raises
+    :class:`ConfigError` before anything runs, since it would fail every
+    spec identically.  After that, with ``keep_going`` (the default)
+    *any* per-circuit failure -- resolve, a crash in the middle of
+    learning/ATPG, a dying worker -- is recorded in
+    :attr:`SuiteReport.errors` as ``{"spec", "error", "stage"}`` and the
+    suite continues; otherwise the first error propagates.
+
+    ``jobs`` shards the specs over a multiprocessing worker pool
+    (:mod:`repro.flow.parallel_suite`): ``None`` defers to
+    ``config.jobs``, ``1`` runs serially in-process, ``0`` means one
+    worker per CPU core.  A single-spec suite has nothing to shard and
+    always runs serially (so the parallel path's ``SuiteError``
+    semantics apply only from two specs up).  The report is
+    deterministic -- identical content and order -- for every ``jobs``
+    value; see :meth:`SuiteReport.canonical_dict` for the byte-identical
+    form.
     """
+    base = config or ReproConfig()
+    if jobs is not None:
+        # ReproConfig.validate is the single source of the jobs rule.
+        base = replace(base, jobs=jobs)
+    base = base.validate()
+    jobs = base.jobs
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    # Sessions always carry jobs=1: parallelism is a property of suite
+    # execution, not of any one circuit's pipeline, and reports must not
+    # depend on the worker count.
+    session_config = replace(base, jobs=1)
+    from .parallel_suite import SuiteTask, run_suite_parallel, run_task
+
+    if jobs > 1 and len(specs) > 1:
+        return run_suite_parallel(specs, config=session_config,
+                                  modes=modes, progress=progress,
+                                  keep_going=keep_going, jobs=jobs)
+    # The serial loop runs the exact same per-circuit body as a pool
+    # worker (one copy of the pipeline, in parallel_suite.run_task), so
+    # reports and failure attribution cannot drift between jobs values.
     report = SuiteReport()
-    for spec in specs:
-        session = Session(spec, config=config, progress=progress)
-        try:
-            session.compare(modes)
-        except (CircuitResolveError, ConfigError) as exc:
-            if not keep_going:
-                raise
-            report.errors.append({"spec": str(spec), "error": str(exc)})
-            continue
-        report.reports.append(session.report())
+    for index, spec in enumerate(specs):
+        result = run_task(
+            SuiteTask(index=index, spec=spec, config=session_config,
+                      modes=tuple(modes)),
+            progress=progress, reraise=not keep_going)
+        if result.error is not None:
+            report.errors.append(result.error)
+        else:
+            report.reports.append(result.report)
     return report

@@ -7,6 +7,7 @@ from .compiled import (
     clear_compile_cache,
     compile_circuit,
     make_fault_simulator,
+    warm_cache,
 )
 from .eventsim import (
     Assignment,
@@ -37,6 +38,7 @@ from .values import (
 __all__ = [
     "SIM_BACKENDS", "CompiledCircuit", "CompiledFaultSimulator",
     "clear_compile_cache", "compile_circuit", "make_fault_simulator",
+    "warm_cache",
     "Assignment", "Conflict", "Coupling", "FrameSimulator",
     "InjectionResult", "simulate_sequence",
     "FaultSimulator", "fault_coverage", "fault_simulate",

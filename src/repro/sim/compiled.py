@@ -28,6 +28,12 @@ against each other (``tests/test_backend_differential.py``).
 Caveat: the cache assumes circuits are not mutated after ``freeze()``.
 A circuit edited in place after compilation must be re-frozen (which
 changes its fingerprint via the rewired fanins) before re-simulation.
+
+The cache is also *per-process* state: generated kernels are never
+pickled across processes.  A spawn-started worker of a parallel suite
+run begins cold; a fork-started worker inherits only what the parent
+had compiled before the fork.  Either way each worker warms its own
+cache (see :func:`warm_cache`).
 """
 
 from __future__ import annotations
@@ -308,6 +314,21 @@ def compile_circuit(circuit: Circuit) -> CompiledCircuit:
 def clear_compile_cache() -> None:
     """Drop every cached lowering (tests, memory pressure)."""
     _CACHE.clear()
+
+
+def warm_cache(circuit: Circuit) -> CompiledCircuit:
+    """Pre-compile ``circuit``'s kernels in *this* process.
+
+    The lowering cache is plain module state and therefore per-process:
+    the exec-generated kernels are never pickled across a suite pool
+    (:mod:`repro.flow.parallel_suite`).  A spawn-started worker begins
+    with an empty cache; a fork-started worker inherits only what the
+    parent had compiled before the pool started.  Workers call this
+    once per assigned circuit so compilation happens up front rather
+    than inside the first pipeline stage; in an already-warm process it
+    is a cache hit and free.
+    """
+    return compile_circuit(circuit)
 
 
 # ----------------------------------------------------------------------

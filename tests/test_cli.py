@@ -157,6 +157,24 @@ def test_suite_command(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["command"] == "suite"
     assert payload["circuits"] == 2 and payload["errors"] == []
-    saved = json.loads(open(out).read())
+    with open(out) as handle:
+        saved = json.load(handle)
     assert saved["format"] == "repro/suite-report"
     assert {r["circuit"] for r in saved["reports"]} == {"figure1", "s27"}
+
+
+def test_suite_jobs_report_identical_to_serial(capsys):
+    argv = ["suite", "figure1", "s27", "--mode", "known",
+            "--max-faults", "20", "--json", "--canonical"]
+    assert main(argv + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_suite_bad_spec_exits_nonzero_and_keeps_going(capsys):
+    assert main(["suite", "figure1", "like:nope", "--mode", "known",
+                 "--max-faults", "10", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["circuits"] == 1
+    assert payload["errors"][0]["stage"] == "resolve"

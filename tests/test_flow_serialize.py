@@ -134,3 +134,53 @@ def test_atpg_stats_round_trip():
     rebuilt = atpg_stats_from_dict(data)
     assert rebuilt == stats
     assert rebuilt.row() == stats.row()
+
+
+# ----------------------------------------------------------------------
+# atomic writes
+# ----------------------------------------------------------------------
+def test_save_learn_result_is_atomic(tmp_path, monkeypatch):
+    import repro.flow.serialize as serialize_mod
+    from repro.flow import write_json_atomic
+
+    result = learn(figure1())
+    path = tmp_path / "figure1.learn.json"
+    save_learn_result(result, path)
+    before = path.read_text()
+
+    def exploding_dump(payload, handle, **kwargs):
+        handle.write('{"half": ')
+        raise OSError("disk full")
+
+    monkeypatch.setattr(serialize_mod.json, "dump", exploding_dump)
+    with pytest.raises(OSError, match="disk full"):
+        save_learn_result(result, path)
+    monkeypatch.undo()
+
+    # The interrupted write left the previous artifact untouched and
+    # cleaned up its temp file.
+    assert path.read_text() == before
+    assert [p.name for p in tmp_path.iterdir()] == [path.name]
+    load_learn_result(path, figure1())
+
+    # And write_json_atomic creates fresh files too (no pre-existing
+    # target required for os.replace).
+    fresh = tmp_path / "fresh.json"
+    write_json_atomic(fresh, {"ok": True})
+    assert json.loads(fresh.read_text()) == {"ok": True}
+
+
+def test_write_json_atomic_honors_umask(tmp_path):
+    import os
+
+    from repro.flow import write_json_atomic
+
+    old_umask = os.umask(0o022)
+    try:
+        path = tmp_path / "perms.json"
+        write_json_atomic(path, {"x": 1})
+        # Same permissions a plain open(path, "w") would have given,
+        # not mkstemp's owner-only 0600.
+        assert (path.stat().st_mode & 0o777) == 0o644
+    finally:
+        os.umask(old_umask)

@@ -178,3 +178,32 @@ def test_run_suite_keeps_going_on_bad_spec(tmp_path):
     assert out.exists()
     with pytest.raises(CircuitResolveError):
         run_suite(["like:nope"], modes=("known",), keep_going=False)
+
+
+def test_suite_report_save_is_atomic_and_canonical(tmp_path, monkeypatch):
+    import json
+
+    import repro.flow.serialize as serialize_mod
+
+    report = run_suite(["figure1"], modes=("known",))
+    out = tmp_path / "suite.json"
+    report.save(out)
+    before = out.read_text()
+
+    def exploding_dump(payload, handle, **kwargs):
+        handle.write("{")
+        raise OSError("disk full")
+
+    monkeypatch.setattr(serialize_mod.json, "dump", exploding_dump)
+    with pytest.raises(OSError, match="disk full"):
+        report.save(out)
+    monkeypatch.undo()
+    # Crash mid-write: previous report intact, temp file cleaned up.
+    assert out.read_text() == before
+    assert [p.name for p in tmp_path.iterdir()] == [out.name]
+
+    report.save(out, canonical=True)
+    with open(out) as handle:
+        saved = json.load(handle)
+    assert saved["reports"][0]["stages"][0]["elapsed_s"] == 0.0
+    assert saved["reports"][0]["atpg"]["known"]["cpu_s"] == 0.0
