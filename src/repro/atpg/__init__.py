@@ -1,7 +1,14 @@
 """Sequential ATPG with learned-implication enhancement."""
 
 from .driver import ATPGStats, compare_modes, run_atpg
-from .engine import MODES, SequentialATPG, TestResult
+from .engine import (
+    ATPG_ENGINES,
+    MODES,
+    SequentialATPG,
+    TestResult,
+    make_atpg,
+)
+from .incremental import IncrementalATPG
 from .faults import (
     Fault,
     collapse_faults,
@@ -14,7 +21,8 @@ from .untestable import UntestableComparison, compare_untestable
 
 __all__ = [
     "ATPGStats", "compare_modes", "run_atpg",
-    "MODES", "SequentialATPG", "TestResult",
+    "ATPG_ENGINES", "MODES", "SequentialATPG", "TestResult",
+    "IncrementalATPG", "make_atpg",
     "Fault", "collapse_faults", "fault_site_source", "full_fault_list",
     "FiresReport", "fires_untestable",
     "Testability", "compute_testability",

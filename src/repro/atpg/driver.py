@@ -28,7 +28,7 @@ from ..circuit.netlist import Circuit
 from ..core.engine import LearnResult
 from ..core.ties import untestable_faults_from_ties
 from ..sim.compiled import make_fault_simulator
-from .engine import SequentialATPG, TestResult
+from .engine import SequentialATPG, TestResult, make_atpg
 from .faults import Fault, collapse_faults, collapse_with_classes
 
 
@@ -90,7 +90,8 @@ def run_atpg(circuit: Circuit, *,
              fill_seed: int = 12345,
              max_faults: Optional[int] = None,
              keep_sequences: bool = True,
-             sim_backend: str = "compiled") -> ATPGStats:
+             sim_backend: str = "compiled",
+             atpg_engine: str = "incremental") -> ATPGStats:
     """Generate tests for every fault; returns aggregate statistics.
 
     ``mode`` is 'none' (no sequential learning), 'known' or 'forbidden'
@@ -106,7 +107,9 @@ def run_atpg(circuit: Circuit, *,
     circuits would otherwise hold every test in memory);
     :attr:`ATPGStats.sequences_total` counts them either way.
     ``sim_backend`` picks the fault-dropping simulator ('compiled' or
-    'reference'); detected/untestable/aborted counts are identical.
+    'reference'); ``atpg_engine`` picks the PODEM engine ('incremental'
+    or 'reference', see :func:`repro.atpg.engine.make_atpg`).  Counts,
+    sequences and statistics are identical for every combination.
     """
     if config is not None:
         mode = config.mode
@@ -116,6 +119,7 @@ def run_atpg(circuit: Circuit, *,
         max_faults = config.max_faults
         keep_sequences = config.keep_sequences
         sim_backend = config.sim_backend
+        atpg_engine = getattr(config, "atpg_engine", atpg_engine)
     start = time.perf_counter()
     classes = None
     if faults is None:
@@ -129,10 +133,10 @@ def run_atpg(circuit: Circuit, *,
                       backtrack_limit=backtrack_limit,
                       total_faults=len(faults))
     relations = learned.relations if learned is not None else None
-    atpg = SequentialATPG(circuit,
-                          relations=relations if mode != "none" else None,
-                          mode=mode, backtrack_limit=backtrack_limit,
-                          max_frames=max_frames)
+    atpg = make_atpg(circuit, engine=atpg_engine,
+                     relations=relations if mode != "none" else None,
+                     mode=mode, backtrack_limit=backtrack_limit,
+                     max_frames=max_frames)
     simulator = make_fault_simulator(circuit, backend=sim_backend)
     rng = random.Random(fill_seed)
     input_names = [circuit.nodes[i].name for i in circuit.inputs]
@@ -230,5 +234,7 @@ def compare_modes(circuit: Circuit, learned: LearnResult, *,
                 fill_seed=config.fill_seed if config else 12345,
                 keep_sequences=config.keep_sequences if config else True,
                 sim_backend=(config.sim_backend if config
-                             else "compiled")))
+                             else "compiled"),
+                atpg_engine=(config.atpg_engine if config
+                             else "incremental")))
     return rows

@@ -51,6 +51,119 @@ from .scoap import Testability, compute_testability
 
 MODES = ("none", "known", "forbidden")
 
+#: Selectable PODEM engines (``ATPGConfig.atpg_engine``, CLI
+#: ``--atpg-engine``).  ``incremental`` is the event-driven engine
+#: (:mod:`repro.atpg.incremental`); ``reference`` is the original
+#: re-simulate-everything loop, kept as the differential oracle.
+ATPG_ENGINES = ("reference", "incremental")
+
+
+def _good_value(t: GateType, fanins: Sequence[int],
+                gv: List[int]) -> int:
+    """``eval_gate(t, [gv[f] for f in fanins])`` without the list.
+
+    The per-gate fanin comprehension is the single largest allocation in
+    the window-simulation hot loop; this reads the value array directly.
+    """
+    if t is GateType.AND or t is GateType.NAND:
+        out = ONE
+        for f in fanins:
+            v = gv[f]
+            if v == ZERO:
+                out = ZERO
+                break
+            if v == X:
+                out = X
+        if t is GateType.NAND and out != X:
+            return 1 - out
+        return out
+    if t is GateType.OR or t is GateType.NOR:
+        out = ZERO
+        for f in fanins:
+            v = gv[f]
+            if v == ONE:
+                out = ONE
+                break
+            if v == X:
+                out = X
+        if t is GateType.NOR and out != X:
+            return 1 - out
+        return out
+    if t is GateType.NOT:
+        v = gv[fanins[0]]
+        return v if v == X else 1 - v
+    if t is GateType.BUF:
+        return gv[fanins[0]]
+    if t is GateType.XOR or t is GateType.XNOR:
+        out = ZERO
+        for f in fanins:
+            v = gv[f]
+            if v == X:
+                return X
+            out ^= v
+        return (1 - out) if t is GateType.XNOR else out
+    if t is GateType.TIE0:
+        return ZERO
+    if t is GateType.TIE1:
+        return ONE
+    raise ValueError(f"cannot evaluate gate type {t!r} combinationally")
+
+
+def _faulty_value(t: GateType, fanins: Sequence[int], gv: List[int],
+                  fv: Dict[int, int]) -> int:
+    """Faulty-plane gate value: fanin ``f`` reads ``fv.get(f, gv[f])``."""
+    if t is GateType.AND or t is GateType.NAND:
+        out = ONE
+        for f in fanins:
+            v = fv.get(f)
+            if v is None:
+                v = gv[f]
+            if v == ZERO:
+                out = ZERO
+                break
+            if v == X:
+                out = X
+        if t is GateType.NAND and out != X:
+            return 1 - out
+        return out
+    if t is GateType.OR or t is GateType.NOR:
+        out = ZERO
+        for f in fanins:
+            v = fv.get(f)
+            if v is None:
+                v = gv[f]
+            if v == ONE:
+                out = ONE
+                break
+            if v == X:
+                out = X
+        if t is GateType.NOR and out != X:
+            return 1 - out
+        return out
+    if t is GateType.NOT:
+        v = fv.get(fanins[0])
+        if v is None:
+            v = gv[fanins[0]]
+        return v if v == X else 1 - v
+    if t is GateType.BUF:
+        v = fv.get(fanins[0])
+        return gv[fanins[0]] if v is None else v
+    if t is GateType.XOR or t is GateType.XNOR:
+        out = ZERO
+        for f in fanins:
+            v = fv.get(f)
+            if v is None:
+                v = gv[f]
+            if v == X:
+                return X
+            out ^= v
+        return (1 - out) if t is GateType.XNOR else out
+    if t is GateType.TIE0:
+        return ZERO
+    if t is GateType.TIE1:
+        return ONE
+    raise ValueError(f"cannot evaluate gate type {t!r} combinationally")
+
 
 @dataclass
 class TestResult:
@@ -104,6 +217,19 @@ class SequentialATPG:
         self.max_frames = max_frames
         self.testability: Testability = compute_testability(circuit)
         self._n = len(circuit.nodes)
+        #: Fault-cone memo: origin node -> {origin} | transitive fanout.
+        self._cone_cache: Dict[int, Set[int]] = {}
+        # Flat per-node lookups for the backtrace/objective hot paths
+        # (enum hashing and property calls dominate them otherwise).
+        nodes = circuit.nodes
+        self._gt: List[GateType] = [n.gate_type for n in nodes]
+        self._fanins_a: List[List[int]] = [n.fanins for n in nodes]
+        self._control_a: List[Optional[int]] = [
+            CONTROLLING_VALUE.get(n.gate_type) for n in nodes]
+        self._invert_a: List[bool] = [
+            INVERTING.get(n.gate_type, False) for n in nodes]
+        self._is_input_a: List[bool] = [n.is_input for n in nodes]
+        self._is_seq_a: List[bool] = [n.is_sequential for n in nodes]
         #: Random probes before accepting an untestable verdict.
         self._refutation_trials = 30
         # Backtrace recursion spans window x logic depth.
@@ -224,10 +350,18 @@ class SequentialATPG:
 
     # ------------------------------------------------------------------
     def _fault_cone(self, fault: Fault) -> Set[int]:
-        """Nodes whose faulty value may differ from the good value."""
+        """Nodes whose faulty value may differ from the good value.
+
+        Memoized per origin node: ``generate()`` is called once per fault
+        and most faults share an origin with others (0/1 pairs, pin
+        faults), so the cone walk would otherwise repeat per fault.
+        """
         origin = fault.node
-        cone = {origin}
-        cone.update(self.circuit.transitive_fanout(origin))
+        cone = self._cone_cache.get(origin)
+        if cone is None:
+            cone = {origin}
+            cone.update(self.circuit.transitive_fanout(origin))
+            self._cone_cache[origin] = cone
         return cone
 
     # ------------------------------------------------------------------
@@ -278,26 +412,41 @@ class SequentialATPG:
 
     def _eval_frame(self, fault: Fault, frame: int, state: _Window,
                     fault_cone: Set[int]) -> None:
+        """Levelized frame evaluation of both planes.
+
+        The faulty plane is kept *canonical*: an ``fv`` entry exists for
+        a re-evaluated gate iff its faulty value differs from the good
+        value.  (Historically entries that became equal to the good value
+        after a re-evaluation -- e.g. once ``_apply_known`` forced values
+        -- were never deleted, so ``_Window.is_d`` and the D-frontier
+        walked stale non-differences; the incremental engine's state
+        comparisons also rely on this canonical form.)
+        """
         circuit = self.circuit
         gv = state.gv[frame]
         fv = state.fv[frame]
+        fault_node = fault.node
+        fault_pin = fault.pin
         for nid in circuit.topo_order:
             node = circuit.nodes[nid]
-            good = eval_gate(node.gate_type,
-                             [gv[f] for f in node.fanins])
             if gv[nid] == X:
-                gv[nid] = good
+                gv[nid] = _good_value(node.gate_type, node.fanins, gv)
             if nid in fault_cone:
-                fanin_faulty = [fv.get(f, gv[f]) for f in node.fanins]
-                if fault.pin is not None and nid == fault.node:
-                    fanin_faulty[fault.pin] = fault.value
-                faulty = eval_gate(node.gate_type, fanin_faulty)
-                if fault.pin is None and nid == fault.node:
-                    faulty = fault.value
+                if nid == fault_node:
+                    if fault_pin is None:
+                        faulty = fault.value
+                    else:
+                        fanin_faulty = [fv.get(f, gv[f])
+                                        for f in node.fanins]
+                        fanin_faulty[fault_pin] = fault.value
+                        faulty = eval_gate(node.gate_type, fanin_faulty)
+                else:
+                    faulty = _faulty_value(node.gate_type, node.fanins,
+                                           gv, fv)
                 if faulty != gv[nid]:
                     fv[nid] = faulty
-                elif nid in fv and fv[nid] != faulty:
-                    fv[nid] = faulty
+                elif nid in fv:
+                    del fv[nid]
 
     def _reeval_frame(self, fault: Fault, frame: int, state: _Window,
                       fault_cone: Set[int]) -> bool:
@@ -307,6 +456,17 @@ class SequentialATPG:
         return state.gv[frame] != before
 
     # -- learned-knowledge application ---------------------------------
+    def _implications_at(self, nid: int, value: int,
+                         frame: int) -> Sequence[Tuple[int, int]]:
+        """Direct implications of ``nid=value`` valid at ``frame``.
+
+        Indirection point: the reference engine asks the
+        :class:`RelationDB` (which filters warm-ups per call); the
+        incremental engine overrides this with antecedent-indexed
+        per-frame buckets built once, so lookup is O(hits).
+        """
+        return self.relations.implications_at(nid, value, frame)
+
     def _apply_known(self, fault: Fault, frame: int, state: _Window,
                      fault_cone: Set[int]) -> None:
         """Force learned implications as known good values (fixpoint)."""
@@ -318,8 +478,7 @@ class SequentialATPG:
                 value = gv[nid]
                 if value == X:
                     continue
-                for m, u in self.relations.implications_at(nid, value,
-                                                           frame):
+                for m, u in self._implications_at(nid, value, frame):
                     if gv[m] == X:
                         gv[m] = u
                         if m not in fault_cone:
@@ -353,7 +512,7 @@ class SequentialATPG:
             value = gv[nid]
             if value == X:
                 continue
-            for m, u in self.relations.implications_at(nid, value, frame):
+            for m, u in self._implications_at(nid, value, frame):
                 if gv[m] != X:
                     if gv[m] != u:
                         state.conflict = True
@@ -505,7 +664,7 @@ class SequentialATPG:
         frontier.sort(key=lambda fn: (co[fn[1]], fn[0]))
         for frame, gate in frontier:
             node = circuit.nodes[gate]
-            control = CONTROLLING_VALUE.get(node.gate_type)
+            control = self._control_a[gate]
             gv = state.gv[frame]
             for pin, fanin in enumerate(node.fanins):
                 if fault.pin is not None and gate == fault.node \
@@ -548,42 +707,48 @@ class SequentialATPG:
         needed controlling value are preferred -- the paper's
         decision-selection rule.
         """
-        circuit = self.circuit
         tst = self.testability
         dead: Set[Tuple[int, int]] = set()
+        gvs = state.gv
+        gt = self._gt
+        fanins_a = self._fanins_a
+        control_a = self._control_a
+        invert_a = self._invert_a
+        is_input_a = self._is_input_a
+        is_seq_a = self._is_seq_a
 
         def walk(frame: int, nid: int, value: int
                  ) -> Optional[Tuple[Tuple[int, int], int]]:
             if (frame, nid) in dead:
                 return None
-            node = circuit.nodes[nid]
-            gv = state.gv[frame]
+            gv = gvs[frame]
             if gv[nid] != X:
                 return None  # already decided (possibly by implication)
-            if node.is_input:
+            if is_input_a[nid]:
                 return ((frame, nid), value)
-            if node.is_sequential:
+            fanins = fanins_a[nid]
+            if is_seq_a[nid]:
                 if frame == 0:
                     dead.add((frame, nid))
                     return None
-                found = walk(frame - 1, node.fanins[0], value)
+                found = walk(frame - 1, fanins[0], value)
                 if found is None:
                     dead.add((frame, nid))
                 return found
-            t = node.gate_type
-            if t in (GateType.TIE0, GateType.TIE1):
+            t = gt[nid]
+            if t is GateType.TIE0 or t is GateType.TIE1:
                 dead.add((frame, nid))
                 return None
-            if t in (GateType.NOT, GateType.BUF):
-                found = walk(frame, node.fanins[0],
+            if t is GateType.NOT or t is GateType.BUF:
+                found = walk(frame, fanins[0],
                              inv(value) if t is GateType.NOT else value)
                 if found is None:
                     dead.add((frame, nid))
                 return found
-            if t in (GateType.XOR, GateType.XNOR):
-                xs = [f for f in node.fanins if gv[f] == X]
+            if t is GateType.XOR or t is GateType.XNOR:
+                xs = [f for f in fanins if gv[f] == X]
                 parity = value ^ (1 if t is GateType.XNOR else 0)
-                for f in node.fanins:
+                for f in fanins:
                     if gv[f] == ONE:
                         parity ^= 1
                 for f in sorted(xs,
@@ -594,9 +759,9 @@ class SequentialATPG:
                         return found
                 dead.add((frame, nid))
                 return None
-            control = CONTROLLING_VALUE[t]
-            needed = inv(value) if INVERTING[t] else value
-            xs = [f for f in node.fanins if gv[f] == X]
+            control = control_a[nid]
+            needed = inv(value) if invert_a[nid] else value
+            xs = [f for f in fanins if gv[f] == X]
             if not xs:
                 dead.add((frame, nid))
                 return None
@@ -606,15 +771,17 @@ class SequentialATPG:
                 # value (forbidden non-controlling), else the easiest;
                 # on failure try the alternatives.
                 forb = state.forb[frame]
+                non_control = inv(control)
+                cc = tst.cc0 if control == ZERO else tst.cc1
                 ordered = sorted(
-                    xs, key=lambda f: (forb.get(f) != inv(control),
-                                       tst.cc(f, control)))
+                    xs, key=lambda f: (forb.get(f) != non_control,
+                                       cc[f]))
                 want = control
             else:
                 # All inputs must be non-controlling: attack the hardest
                 # first (fail fast), but any input is a legal next step.
-                ordered = sorted(xs,
-                                 key=lambda f: -tst.cc(f, inv(control)))
+                cc = tst.cc0 if control == ONE else tst.cc1
+                ordered = sorted(xs, key=lambda f: -cc[f])
                 want = inv(control)
             for f in ordered:
                 found = walk(frame, f, want)
@@ -638,3 +805,32 @@ class SequentialATPG:
                     vector[circuit.nodes[pid].name] = value
             out.append(vector)
         return out
+
+
+# ----------------------------------------------------------------------
+# engine selection
+# ----------------------------------------------------------------------
+def make_atpg(circuit: Circuit, *, engine: str = "incremental",
+              relations: Optional[RelationDB] = None,
+              mode: str = "none", backtrack_limit: int = 30,
+              max_frames: int = 10) -> SequentialATPG:
+    """Factory over :data:`ATPG_ENGINES`; both share one contract.
+
+    ``incremental`` (:class:`repro.atpg.incremental.IncrementalATPG`)
+    produces bit-identical :class:`TestResult`s to ``reference`` -- the
+    differential harness in ``tests/test_engine_differential.py`` pins
+    that down -- while propagating decisions through the event wavefront
+    only and undoing backtracks from a trail.
+    """
+    if engine == "reference":
+        return SequentialATPG(circuit, relations=relations, mode=mode,
+                              backtrack_limit=backtrack_limit,
+                              max_frames=max_frames)
+    if engine == "incremental":
+        from .incremental import IncrementalATPG
+
+        return IncrementalATPG(circuit, relations=relations, mode=mode,
+                               backtrack_limit=backtrack_limit,
+                               max_frames=max_frames)
+    raise ValueError(
+        f"unknown ATPG engine {engine!r}; expected one of {ATPG_ENGINES}")

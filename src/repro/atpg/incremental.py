@@ -1,0 +1,653 @@
+"""Incremental event-driven PODEM engine.
+
+:class:`IncrementalATPG` is a drop-in replacement for
+:class:`~repro.atpg.engine.SequentialATPG` that produces *bit-identical*
+:class:`~repro.atpg.engine.TestResult`\\ s (status, sequences,
+decision/backtrack counts, detected-at windows) while doing a fraction
+of the work per search step.  The reference engine re-simulates the
+whole W-frame window from scratch on every decision and every
+backtrack; this engine keeps the window state alive across search steps
+and moves it incrementally:
+
+* **trail + undo log** -- every decision pushes a trail entry holding
+  the pre-decision contents of each frame it touches; backtracking pops
+  the trail and reinstalls them instead of re-simulating anything;
+* **event wavefront** (``mode='none'``) -- a PI assignment propagates
+  through its combinational fanout cone in topological order (a heap of
+  topo positions), crosses into later frames only through flip-flops
+  whose captured value actually changed, and dies out as soon as no
+  frame-boundary value differs;
+* **frame wavefront** (learning modes) -- the learned-implication
+  fixpoints (:meth:`_apply_known` / :meth:`_apply_forbidden`) are
+  deliberately bounded in rounds, which makes sub-frame increments
+  unsound to replay; instead the decision frame and its successors are
+  rebuilt with the exact reference frame body, stopping at the first
+  frame whose flip-flop boundary (good value, faulty value, forbidden
+  shadow of every FF data input) is unchanged -- frames before the
+  decision and after the dead wavefront are never touched;
+* **O(hits) implication lookup** -- learned relations are applied from
+  antecedent-indexed per-frame buckets
+  (:meth:`repro.core.relations.RelationDB.frame_index`) instead of
+  filtering the adjacency list on every query;
+* **maintained D-sets** -- the set of fault-effect nodes per frame is
+  updated alongside the planes, so detection checks, the D-frontier and
+  the X-path search iterate over actual fault effects instead of
+  scanning every node of every frame.
+
+Correctness leans on two facts.  Three-valued gate evaluation is
+*monotone* in the information order (a decision can only refine X to a
+known value, never flip a known value), so recomputing exactly the
+nodes whose fanin values changed -- in topological order -- reaches the
+same fixpoint as full re-evaluation.  And the faulty plane is kept
+*canonical* by :meth:`SequentialATPG._eval_frame` (an ``fv`` entry
+exists iff faulty differs from good), so frame states are pure
+functions of the assignments and compare with ``==``.
+
+Flat circuit structure (fanin tuples, topo positions, per-node
+combinational fanouts, FF data pairs) is lowered once per circuit --
+reusing :func:`repro.sim.compiled.compile_circuit`'s cached lowering --
+and shared by every engine instance via a fingerprint-keyed cache;
+fault cones ride on the circuit-level ``transitive_fanout`` memo.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import X, eval_gate, inv
+from ..circuit.netlist import Circuit
+from ..core.relations import RelationDB
+from ..sim.compiled import compile_circuit
+from .engine import SequentialATPG, _faulty_value, _good_value
+from .faults import Fault, fault_site_source
+
+
+class _CircuitIndex:
+    """Flat per-circuit structure shared by every incremental engine."""
+
+    __slots__ = ("circuit", "n", "gtype", "fanins", "comb_fanouts",
+                 "topo_pos", "ff_pairs", "inputs", "outputs", "is_comb")
+
+    def __init__(self, circuit: Circuit):
+        cc = compile_circuit(circuit)  # cached opcode/fanin lowering
+        nodes = circuit.nodes
+        self.circuit = circuit
+        self.n = cc.n
+        self.gtype = [node.gate_type for node in nodes]
+        self.fanins: List[Tuple[int, ...]] = [None] * cc.n
+        for _op, nid, fis in cc.schedule:
+            self.fanins[nid] = fis
+        for node in nodes:  # PIs/FFs (not in the schedule)
+            if self.fanins[node.nid] is None:
+                self.fanins[node.nid] = tuple(node.fanins)
+        self.comb_fanouts: List[Tuple[int, ...]] = [
+            tuple(fo for fo in node.fanouts
+                  if nodes[fo].is_combinational)
+            for node in nodes]
+        self.topo_pos = [0] * cc.n
+        for pos, nid in enumerate(circuit.topo_order):
+            self.topo_pos[nid] = pos
+        #: (FF output nid, FF data-input nid) in circuit FF order.
+        self.ff_pairs: Tuple[Tuple[int, int], ...] = tuple(
+            zip(cc.ffs, cc.ff_data))
+        self.inputs = cc.inputs
+        self.outputs = frozenset(cc.outputs)
+        self.is_comb: List[bool] = [n.is_combinational for n in nodes]
+
+
+_INDEX_CACHE: "OrderedDict[str, _CircuitIndex]" = OrderedDict()
+_INDEX_CAP = 128
+
+
+def circuit_index(circuit: Circuit) -> _CircuitIndex:
+    """Lower (or fetch) the flat index, keyed on the fingerprint."""
+    key = circuit.fingerprint()
+    hit = _INDEX_CACHE.get(key)
+    if hit is not None:
+        _INDEX_CACHE.move_to_end(key)
+        return hit
+    idx = _CircuitIndex(circuit)
+    _INDEX_CACHE[key] = idx
+    while len(_INDEX_CACHE) > _INDEX_CAP:
+        _INDEX_CACHE.popitem(last=False)
+    return idx
+
+
+class _IncWindow:
+    """Persistent window state, duck-typed to the reference ``_Window``.
+
+    Adds per-frame D-sets (node ids where :meth:`is_d` holds) that the
+    engine maintains alongside the planes.
+    """
+
+    __slots__ = ("gv", "fv", "forb", "dset", "conflict")
+
+    def __init__(self):
+        self.gv: List[List[int]] = []
+        self.fv: List[Dict[int, int]] = []
+        self.forb: List[Dict[int, int]] = []
+        self.dset: List[Set[int]] = []
+        self.conflict = False
+
+    def add_frame(self, n: int) -> None:
+        self.gv.append([X] * n)
+        self.fv.append({})
+        self.forb.append({})
+        self.dset.append(set())
+
+    def faulty(self, frame: int, nid: int) -> int:
+        value = self.fv[frame].get(nid)
+        return self.gv[frame][nid] if value is None else value
+
+    def is_d(self, frame: int, nid: int) -> bool:
+        g = self.gv[frame][nid]
+        f = self.faulty(frame, nid)
+        return g != X and f != X and g != f
+
+
+class _TrailEntry:
+    """Undo record of one decision: pre-decision frame contents."""
+
+    __slots__ = ("frames",)
+
+    def __init__(self):
+        #: frame index -> (gv list, fv dict, forb dict, dset set).
+        self.frames: Dict[int, Tuple[list, dict, dict, set]] = {}
+
+
+class IncrementalATPG(SequentialATPG):
+    """Event-driven PODEM over a trailed window state.
+
+    Same constructor, same :meth:`generate` contract and bit-identical
+    results as :class:`SequentialATPG`; see the module docstring for
+    what moves incrementally.  The reference engine remains available
+    as the differential oracle (``atpg_engine='reference'``).
+    """
+
+    def __init__(self, circuit: Circuit, *,
+                 relations: Optional[RelationDB] = None,
+                 mode: str = "none",
+                 backtrack_limit: int = 30,
+                 max_frames: int = 10):
+        super().__init__(circuit, relations=relations, mode=mode,
+                         backtrack_limit=backtrack_limit,
+                         max_frames=max_frames)
+        self._idx = circuit_index(circuit)
+        self._state: Optional[_IncWindow] = None
+        self._state_fault: Optional[Fault] = None
+        self._assignments: Dict[Tuple[int, int], int] = {}
+        self._trail: List[_TrailEntry] = []
+
+    # ------------------------------------------------------------------
+    # shared-structure overrides
+    # ------------------------------------------------------------------
+    def _implications_at(self, nid: int, value: int,
+                         frame: int) -> Sequence[Tuple[int, int]]:
+        return self.relations.frame_index(frame).get((nid, value), ())
+
+    # ------------------------------------------------------------------
+    # PODEM core: identical control flow, incremental state
+    # ------------------------------------------------------------------
+    def _podem(self, fault: Fault, window: int, budget: List[int],
+               decisions: List[int]
+               ) -> Tuple[str, Dict[Tuple[int, int], int]]:
+        state = self._prepare(fault, window)
+        assignments = self._assignments
+        stack: List[Tuple[Tuple[int, int], int, bool]] = []
+        while True:
+            step = "decide"
+            if state.conflict:
+                step = "backtrack"
+            elif self._detected(state, window):
+                return "detected", dict(assignments)
+            elif not self._has_potential(state, window, fault):
+                step = "backtrack"
+            if step == "decide":
+                target = self._next_target(state, window, fault)
+                if target is None:
+                    step = "backtrack"
+                else:
+                    key, value = target
+                    assignments[key] = value
+                    stack.append((key, value, False))
+                    decisions[0] += 1
+                    self._apply(fault, key, value)
+                    continue
+            # Backtrack: pop the trail instead of re-simulating.
+            flipped = False
+            while stack:
+                key, value, tried = stack.pop()
+                del assignments[key]
+                self._undo()
+                if not tried:
+                    budget[0] -= 1
+                    if budget[0] < 0:
+                        return "aborted", dict(assignments)
+                    assignments[key] = inv(value)
+                    stack.append((key, inv(value), True))
+                    self._apply(fault, key, inv(value))
+                    flipped = True
+                    break
+            if not flipped:
+                return "exhausted", dict(assignments)
+
+    # ------------------------------------------------------------------
+    # window lifecycle
+    # ------------------------------------------------------------------
+    def _prepare(self, fault: Fault, window: int) -> _IncWindow:
+        """Baseline (assignment-free) state for ``window`` frames.
+
+        Reused across the growing-window sweep of one ``generate()``
+        call: an exhausted search pops its whole trail, so the state is
+        back at the baseline and window growth just appends frames.  A
+        different fault -- or a stale mid-search state from an early
+        ``detected``/``aborted`` return -- forces a rebuild.
+        """
+        state = self._state
+        if (state is None or self._state_fault != fault
+                or self._trail or self._assignments):
+            self._assignments = {}
+            self._trail = []
+            state = _IncWindow()
+            self._state = state
+            self._state_fault = fault
+        while len(state.gv) < window:
+            frame = len(state.gv)
+            state.add_frame(self._n)
+            # Past a baseline conflict the reference leaves frames
+            # fresh-X (it returns early); mirror that.
+            if not state.conflict:
+                self._compute_frame(fault, frame, state)
+        return state
+
+    def _compute_frame(self, fault: Fault, frame: int,
+                       state: _IncWindow) -> None:
+        """The reference ``_simulate`` frame body, on persistent state."""
+        circuit = self.circuit
+        cone = self._fault_cone(fault)
+        assignments = self._assignments
+        gv = state.gv[frame]
+        fv = state.fv[frame]
+        for pid in circuit.inputs:
+            gv[pid] = assignments.get((frame, pid), X)
+        if frame > 0:
+            prev_gv = state.gv[frame - 1]
+            prev_fv = state.fv[frame - 1]
+            for fid, data in self._idx.ff_pairs:
+                gv[fid] = prev_gv[data]
+                fdata = prev_fv.get(data)
+                if fdata is not None and fdata != prev_gv[data]:
+                    fv[fid] = fdata
+                if fault.pin is not None and fid == fault.node:
+                    fv[fid] = fault.value
+        self._force_site(fault, gv, fv)
+        self._eval_frame(fault, frame, state, cone)
+        if self.mode != "none":
+            if self.mode == "known":
+                self._apply_known(fault, frame, state, cone)
+            else:
+                self._apply_forbidden(frame, state)
+        self._refresh_dset(state, frame)
+
+    def _refresh_dset(self, state: _IncWindow, frame: int) -> None:
+        """Rebuild one frame's D-set from its canonical faulty plane."""
+        gv = state.gv[frame]
+        state.dset[frame] = {
+            nid for nid, f in state.fv[frame].items()
+            if f != X and gv[nid] != X and f != gv[nid]}
+
+    def _update_dset(self, state: _IncWindow, frame: int,
+                     nid: int) -> None:
+        f = state.fv[frame].get(nid)
+        if f is not None and f != X and state.gv[frame][nid] != X \
+                and f != state.gv[frame][nid]:
+            state.dset[frame].add(nid)
+        else:
+            state.dset[frame].discard(nid)
+
+    # ------------------------------------------------------------------
+    # decide / undo
+    # ------------------------------------------------------------------
+    def _save_copy(self, entry: _TrailEntry, frame: int) -> None:
+        """Snapshot a frame into the trail before in-place mutation."""
+        if frame not in entry.frames:
+            state = self._state
+            entry.frames[frame] = (list(state.gv[frame]),
+                                   dict(state.fv[frame]),
+                                   dict(state.forb[frame]),
+                                   set(state.dset[frame]))
+
+    def _apply(self, fault: Fault, key: Tuple[int, int],
+               value: int) -> None:
+        """Propagate one new PI assignment through the event wavefront."""
+        state = self._state
+        frame, pid = key
+        entry = _TrailEntry()
+        self._trail.append(entry)
+        if self.mode == "none":
+            self._save_copy(entry, frame)
+            state.gv[frame][pid] = value
+            self._update_dset(state, frame, pid)
+            self._propagate(fault, frame, (pid,), entry)
+        else:
+            self._rebuild(fault, frame, entry)
+
+    def _undo(self) -> None:
+        """Pop one decision: reinstall every frame it touched."""
+        entry = self._trail.pop()
+        state = self._state
+        for frame, (gv, fv, forb, dset) in entry.frames.items():
+            state.gv[frame] = gv
+            state.fv[frame] = fv
+            state.forb[frame] = forb
+            state.dset[frame] = dset
+        state.conflict = False
+
+    # ------------------------------------------------------------------
+    # mode 'none': in-frame event propagation
+    # ------------------------------------------------------------------
+    def _propagate_frame(self, fault: Fault, state: _IncWindow,
+                         frame: int, seeds, self_seeds=()) -> None:
+        """In-frame event-driven recompute in topological order.
+
+        ``seeds`` are nodes whose value changed (their combinational
+        fanouts are scheduled); ``self_seeds`` are combinational nodes
+        that must be recomputed themselves (a node forced by a learned
+        implication needs its own faulty-plane entry re-normalized, just
+        as the reference's full re-evaluation pass would).
+        """
+        idx = self._idx
+        cone = self._fault_cone(fault)
+        tp = idx.topo_pos
+        fanins = idx.fanins
+        gtype = idx.gtype
+        comb_fanouts = idx.comb_fanouts
+        fault_node = fault.node
+        fault_pin = fault.pin
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        gv = state.gv[frame]
+        fv = state.fv[frame]
+        dset = state.dset[frame]
+        heap: List[Tuple[int, int]] = []
+        pushed: Set[int] = set()
+        for s in self_seeds:
+            if s not in pushed:
+                pushed.add(s)
+                heappush(heap, (tp[s], s))
+        for s in seeds:
+            for fo in comb_fanouts[s]:
+                if fo not in pushed:
+                    pushed.add(fo)
+                    heappush(heap, (tp[fo], fo))
+        while heap:
+            _, nid = heappop(heap)
+            changed = False
+            old_g = gv[nid]
+            if old_g == X:
+                good = _good_value(gtype[nid], fanins[nid], gv)
+                if good != X:
+                    gv[nid] = good
+                    changed = True
+            if nid in cone:
+                g_now = gv[nid]
+                old_entry = fv.get(nid)
+                old_eff = old_g if old_entry is None else old_entry
+                if nid == fault_node:
+                    if fault_pin is None:
+                        faulty = fault.value
+                    else:
+                        vals = [fv.get(f, gv[f])
+                                for f in fanins[nid]]
+                        vals[fault_pin] = fault.value
+                        faulty = eval_gate(gtype[nid], vals)
+                else:
+                    faulty = _faulty_value(gtype[nid], fanins[nid],
+                                           gv, fv)
+                if faulty != g_now:
+                    fv[nid] = faulty
+                elif old_entry is not None:
+                    del fv[nid]
+                if faulty != old_eff:
+                    changed = True
+                if g_now != X and faulty != X and faulty != g_now:
+                    dset.add(nid)
+                else:
+                    dset.discard(nid)
+            if changed:
+                for fo in comb_fanouts[nid]:
+                    if fo not in pushed:
+                        pushed.add(fo)
+                        heappush(heap, (tp[fo], fo))
+
+    def _propagate(self, fault: Fault, frame: int, seeds, entry) -> None:
+        """Event-driven update from changed sources, frames forward.
+
+        ``seeds`` are source nodes (the assigned PI, then changed FF
+        outputs) of ``frame`` whose good value changed.  Affected
+        combinational nodes are recomputed in topological order; a frame
+        boundary is crossed only through FFs whose captured (good,
+        faulty) pair differs, and the sweep stops at the first boundary
+        with no change.
+        """
+        state = self._state
+        idx = self._idx
+        window = len(state.gv)
+        fault_node = fault.node
+        while True:
+            self._propagate_frame(fault, state, frame, seeds)
+            gv = state.gv[frame]
+            fv = state.fv[frame]
+            # Frame boundary: carry changed FF captures into the next
+            # frame; the wavefront dies when nothing changed.
+            nxt = frame + 1
+            if nxt >= window:
+                return
+            changed_ffs: List[int] = []
+            next_gv = state.gv[nxt]
+            next_fv = state.fv[nxt]
+            for fid, data in idx.ff_pairs:
+                new_g = gv[data]
+                fdata = fv.get(data)
+                new_f = fdata if (fdata is not None
+                                  and fdata != new_g) else None
+                if fid == fault_node:
+                    # A faulted FF's plane is pinned every frame: pin
+                    # faults at the capture (stuck D input), output
+                    # faults by ``_force_site``.
+                    new_f = fault.value
+                if new_g != next_gv[fid] or new_f != next_fv.get(fid):
+                    self._save_copy(entry, nxt)
+                    next_gv[fid] = new_g
+                    if new_f is None:
+                        next_fv.pop(fid, None)
+                    else:
+                        next_fv[fid] = new_f
+                    self._update_dset(state, nxt, fid)
+                    changed_ffs.append(fid)
+            if not changed_ffs:
+                return
+            frame = nxt
+            seeds = changed_ffs
+
+    # ------------------------------------------------------------------
+    # learning modes: frame-wavefront rebuild
+    # ------------------------------------------------------------------
+    def _rebuild(self, fault: Fault, start: int, entry) -> None:
+        """Rebuild frames ``start..`` until the FF boundary is stable.
+
+        The learned-implication fixpoints are round-bounded, so replaying
+        them on partial deltas is unsound; each affected frame runs the
+        exact reference frame body instead.  Frames whose predecessor
+        boundary (FF data good/faulty/forbidden triple) is unchanged are
+        provably identical and are left untouched.
+        """
+        state = self._state
+        n = self._n
+        for frame in range(start, len(state.gv)):
+            if frame > start and not self._boundary_changed(entry, frame):
+                return
+            entry.frames.setdefault(
+                frame, (state.gv[frame], state.fv[frame],
+                        state.forb[frame], state.dset[frame]))
+            state.gv[frame] = [X] * n
+            state.fv[frame] = {}
+            state.forb[frame] = {}
+            state.dset[frame] = set()
+            self._compute_frame(fault, frame, state)
+            if state.conflict:
+                return
+
+    def _boundary_changed(self, entry: _TrailEntry, frame: int) -> bool:
+        """Did any FF-visible value of ``frame - 1`` change?"""
+        old_gv, old_fv, old_forb, _dset = entry.frames[frame - 1]
+        state = self._state
+        new_gv = state.gv[frame - 1]
+        new_fv = state.fv[frame - 1]
+        new_forb = state.forb[frame - 1]
+        for _fid, data in self._idx.ff_pairs:
+            if old_gv[data] != new_gv[data] \
+                    or old_fv.get(data) != new_fv.get(data) \
+                    or old_forb.get(data) != new_forb.get(data):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # learned-knowledge application over the frame buckets
+    # ------------------------------------------------------------------
+    def _apply_known(self, fault: Fault, frame: int, state: _IncWindow,
+                     fault_cone) -> None:
+        """Reference fixpoint with O(hits) lookup and event re-evals.
+
+        Same rounds, same application order, same conflicts as
+        :meth:`SequentialATPG._apply_known`; the per-round full-frame
+        re-evaluation is replaced by event propagation seeded at exactly
+        the nodes the round forced (monotone, so the fixpoint each round
+        reaches is identical), and implication lookup comes from the
+        antecedent-indexed per-frame buckets.
+        """
+        buckets = self.relations.frame_index(frame)
+        if not buckets:
+            return
+        gv = state.gv[frame]
+        fv = state.fv[frame]
+        bucket_get = buckets.get
+        is_comb = self._idx.is_comb
+        for _round in range(6):
+            changed = False
+            forced: List[int] = []
+            for nid in range(self._n):
+                value = gv[nid]
+                if value == X:
+                    continue
+                implications = bucket_get((nid, value))
+                if implications is None:
+                    continue
+                for m, u in implications:
+                    if gv[m] == X:
+                        gv[m] = u
+                        if m not in fault_cone:
+                            fv.pop(m, None)
+                        forced.append(m)
+                        changed = True
+                    elif gv[m] != u:
+                        state.conflict = True
+                        return
+            if not changed:
+                break
+            self._propagate_frame(
+                fault, state, frame, forced,
+                self_seeds=[m for m in forced if is_comb[m]])
+
+    def _apply_forbidden(self, frame: int, state: _IncWindow) -> None:
+        """Reference shadow fixpoint, skipped when provably inert.
+
+        With no implication valid at this frame and no shadow state to
+        transfer, the reference pass cannot mark anything (the forward
+        propagation of an empty shadow plane reproduces the good values
+        exactly), so the whole frame scan is skipped.
+        """
+        if not self.relations.frame_index(frame) and (
+                frame == 0 or not state.forb[frame - 1]):
+            return
+        super()._apply_forbidden(frame, state)
+
+    # ------------------------------------------------------------------
+    # search guidance over maintained D-sets
+    # ------------------------------------------------------------------
+    def _detected(self, state: _IncWindow, window: int) -> bool:
+        outputs = self._idx.outputs
+        for frame in range(window):
+            dset = state.dset[frame]
+            if dset and not outputs.isdisjoint(dset):
+                return True
+        return False
+
+    def _d_frontier(self, state: _IncWindow, window: int, fault: Fault
+                    ) -> List[Tuple[int, int]]:
+        circuit = self.circuit
+        nodes = circuit.nodes
+        out: List[Tuple[int, int]] = []
+        src = fault_site_source(circuit, fault)
+        for frame in range(window):
+            gv = state.gv[frame]
+            for nid in sorted(state.dset[frame]):
+                for fo in nodes[nid].fanouts:
+                    fo_node = nodes[fo]
+                    if fo_node.is_combinational and (
+                            gv[fo] == X or state.faulty(frame, fo) == X):
+                        out.append((frame, fo))
+            if fault.pin is not None and gv[src] == inv(fault.value):
+                if gv[fault.node] == X or \
+                        state.faulty(frame, fault.node) == X:
+                    out.append((frame, fault.node))
+        return out
+
+    def _has_potential(self, state: _IncWindow, window: int,
+                       fault: Fault) -> bool:
+        circuit = self.circuit
+        src = fault_site_source(circuit, fault)
+        activated = self._activated(state, window, fault) is not None
+        if not activated:
+            for frame in range(window):
+                if state.gv[frame][src] == X:
+                    return True
+            return False
+        # X-path check seeded from the maintained D-sets (reachability,
+        # so traversal order does not affect the verdict).
+        seen: Set[Tuple[int, int]] = set()
+        stack: List[Tuple[int, int]] = []
+        for frame in range(window):
+            for nid in state.dset[frame]:
+                stack.append((frame, nid))
+        if fault.pin is not None:
+            for frame in range(window):
+                if state.gv[frame][src] == inv(fault.value):
+                    stack.append((frame, fault.node))
+        while stack:
+            frame, nid = stack.pop()
+            if (frame, nid) in seen:
+                continue
+            seen.add((frame, nid))
+            node = circuit.nodes[nid]
+            value_known = (state.gv[frame][nid] != X
+                           and state.faulty(frame, nid) != X)
+            is_effect = state.is_d(frame, nid)
+            if node.is_output and (is_effect or not value_known):
+                if is_effect:
+                    return True
+                if state.gv[frame][nid] == X or \
+                        state.faulty(frame, nid) == X:
+                    return True
+            if value_known and not is_effect:
+                continue
+            for fo in node.fanouts:
+                fo_node = circuit.nodes[fo]
+                if fo_node.is_sequential:
+                    if frame + 1 < window:
+                        stack.append((frame + 1, fo))
+                else:
+                    stack.append((frame, fo))
+        return False

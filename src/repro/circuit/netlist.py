@@ -94,6 +94,7 @@ class Circuit:
         self.topo_order: List[int] = []
         self.level: List[int] = []
         self._frozen = False
+        self._tfo_cache: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -194,6 +195,7 @@ class Circuit:
                 self.nodes[fi].fanouts.append(node.nid)
         self._levelize()
         self._frozen = True
+        self._tfo_cache.clear()
         return self
 
     def _levelize(self) -> None:
@@ -283,7 +285,15 @@ class Circuit:
         return mask
 
     def transitive_fanout(self, nid: int) -> List[int]:
-        """All nodes reachable forward from ``nid`` (through FFs too)."""
+        """All nodes reachable forward from ``nid`` (through FFs too).
+
+        Results are memoized after :meth:`freeze` (ATPG asks for the same
+        fault cones over and over); the cache is invalidated whenever the
+        circuit is (re-)frozen, since freezing rewires fanouts.
+        """
+        cached = self._tfo_cache.get(nid) if self._frozen else None
+        if cached is not None:
+            return list(cached)
         seen = {nid}
         stack = [nid]
         while stack:
@@ -293,7 +303,10 @@ class Circuit:
                     seen.add(fo)
                     stack.append(fo)
         seen.discard(nid)
-        return sorted(seen)
+        out = sorted(seen)
+        if self._frozen:
+            self._tfo_cache[nid] = tuple(out)
+        return out
 
     def combinational_fanin_cone(self, nid: int) -> List[int]:
         """Support cone of a node, stopping at PIs and FF outputs."""

@@ -31,6 +31,7 @@ from .analysis import analyze_state_space
 from .circuit.netlist import Circuit
 from .core import LearnConfig
 from .flow import (
+    ATPG_ENGINES,
     ATPG_MODES,
     SIM_BACKENDS,
     ArtifactError,
@@ -61,6 +62,8 @@ def _session(args, learn_config: Optional[LearnConfig] = None,
     atpg_config = atpg_config or ATPGConfig()
     atpg_config.sim_backend = getattr(args, "backend",
                                       atpg_config.sim_backend)
+    atpg_config.atpg_engine = getattr(args, "atpg_engine",
+                                      atpg_config.atpg_engine)
     config = ReproConfig(learn=learn_config or LearnConfig(),
                          atpg=atpg_config,
                          retime=getattr(args, "retime", 0))
@@ -168,7 +171,8 @@ def _cmd_suite(args) -> int:
         atpg=ATPGConfig(backtrack_limit=args.backtrack_limit,
                         max_frames=args.window,
                         max_faults=args.max_faults,
-                        sim_backend=args.backend),
+                        sim_backend=args.backend,
+                        atpg_engine=args.atpg_engine),
         retime=args.retime,
         jobs=args.jobs)
     modes = list(ATPG_MODES) if args.mode == "all" else [args.mode]
@@ -273,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_atpg_knobs(p):
         add_backend(p)
+        p.add_argument("--atpg-engine", default="incremental",
+                       choices=ATPG_ENGINES,
+                       help="PODEM engine (incremental event-driven "
+                            "search or the reference re-simulating "
+                            "loop; identical results)")
         p.add_argument("--backtrack-limit", type=int, default=30)
         p.add_argument("--window", type=int, default=8,
                        help="maximum time-frame window")

@@ -64,6 +64,9 @@ class RelationDB:
         self._adj: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         self._domain_of: Dict[int, Tuple] = {
             fid: circuit.nodes[fid].domain_key() for fid in circuit.ffs}
+        #: frame -> antecedent-indexed buckets (see :meth:`frame_index`).
+        self._frame_index: Dict[
+            int, Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]]] = {}
 
     # ------------------------------------------------------------------
     def add(self, a: int, va: int, b: int, vb: int, *,
@@ -82,7 +85,9 @@ class RelationDB:
             # Keep the strongest evidence: earliest validity, comb beats seq.
             if sequential is False:
                 existing.sequential = False
-            existing.warmup = min(existing.warmup, warmup)
+            if warmup < existing.warmup:
+                existing.warmup = warmup
+                self._frame_index.clear()
             return False
         ka, kva, kb, kvb = key
         relation = Relation(ka, kva, kb, kvb, source=source,
@@ -91,6 +96,7 @@ class RelationDB:
         self._adj.setdefault((ka, kva), []).append((kb, kvb, relation))
         self._adj.setdefault((kb, inv(kvb)), []).append(
             (ka, inv(kva), relation))
+        self._frame_index.clear()
         return True
 
     # ------------------------------------------------------------------
@@ -103,6 +109,27 @@ class RelationDB:
         """Direct implications valid at ``frame`` (warm-up respected)."""
         return [(m, u) for m, u, r in self._adj.get((nid, value), ())
                 if r.warmup <= frame]
+
+    def frame_index(self, frame: int
+                    ) -> Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]]:
+        """Antecedent-indexed implication buckets valid at ``frame``.
+
+        ``{(nid, value): ((m, u), ...)}`` with exactly the pairs (and
+        order) :meth:`implications_at` would return, but built once and
+        cached, so a hot caller pays one dict lookup per antecedent
+        instead of a filtered list build.  The cache is invalidated by
+        any :meth:`add` that changes the database.
+        """
+        buckets = self._frame_index.get(frame)
+        if buckets is None:
+            buckets = {}
+            for key, entries in self._adj.items():
+                hits = tuple((m, u) for m, u, r in entries
+                             if r.warmup <= frame)
+                if hits:
+                    buckets[key] = hits
+            self._frame_index[frame] = buckets
+        return buckets
 
     def closure_of(self, nid: int, value: int) -> Dict[int, int]:
         """Transitive closure of direct implications (conflict -> None).

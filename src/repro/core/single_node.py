@@ -9,6 +9,24 @@ frame t, then ``a=inv(x) -> s=1 -> b=y``, i.e. the relation
 The phase also records, for every (node, value) produced, the set of
 (stem, stem-value, frame-offset) *justifications* -- the input to the
 multiple-node phase.
+
+Two execution paths produce identical :class:`SingleNodeData`:
+
+* the **reference path** drives :class:`~repro.sim.eventsim.
+  FrameSimulator` once per (stem, value) -- 2x injections per stem;
+* the **batched path** (the default whenever no coupled knowledge is in
+  play, i.e. the phase-one runs of every clock-domain class) packs up to
+  ``batch_width`` injections into one bit per machine of a compiled
+  two-plane run (:func:`repro.sim.compiled.compile_circuit`), amortizing
+  gate evaluation across the whole batch.  Per-machine stop rules
+  (state repeat / dead state) mirror the event simulator exactly; the
+  rare stem whose opposite value is already derivable from tie constants
+  -- the only way an injection can conflict -- falls back to the
+  reference path so conflict results stay byte-identical.
+
+To keep downstream iteration order independent of the path taken, every
+per-frame value dict is normalized to ascending node id before it is
+stored.
 """
 
 from __future__ import annotations
@@ -18,6 +36,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..circuit.gates import ONE, ZERO, inv
 from ..circuit.netlist import Circuit
+from ..sim.compiled import compile_circuit
 from ..sim.eventsim import FrameSimulator, InjectionResult
 from .relations import RelationDB
 
@@ -46,22 +65,55 @@ class SingleNodeData:
         return result.implied(frame)
 
 
+def _normalized(result: InjectionResult) -> InjectionResult:
+    """Reorder every frame dict to ascending node id, in place.
+
+    Both execution paths store frames this way so justification and
+    relation-extraction iteration order cannot depend on which produced
+    the run.
+    """
+    result.frames = [dict(sorted(frame.items()))
+                     for frame in result.frames]
+    return result
+
+
 def run_single_node(simulator: FrameSimulator,
                     stems: Optional[List[int]] = None,
-                    max_frames: int = 50) -> SingleNodeData:
-    """Inject 0 and 1 on every stem and record forward implications."""
+                    max_frames: int = 50, *,
+                    batched: Optional[bool] = None,
+                    batch_width: int = 128) -> SingleNodeData:
+    """Inject 0 and 1 on every stem and record forward implications.
+
+    ``batched=None`` (the default) packs injections into compiled
+    two-plane runs whenever the simulator carries no coupled knowledge
+    (ties/equivalences from earlier phases couple values in ways the
+    packed evaluator does not model); ``True``/``False`` force the
+    choice -- forcing ``True`` still routes coupled simulators through
+    the reference path.  Results are identical either way.
+    """
     circuit = simulator.circuit
     if stems is None:
         stems = circuit.fanout_stems()
     data = SingleNodeData()
     constants = simulator._constants
+    use_batched = batched if batched is not None else True
+    if simulator.coupling.ties or simulator.coupling.equiv:
+        use_batched = False
+    runs: Dict[Tuple[int, int], InjectionResult] = {}
+    if use_batched:
+        live = [s for s in stems if s not in constants]
+        if live:
+            runs = _batched_runs(simulator, live, max_frames,
+                                 batch_width)
     for stem in stems:
         if stem in constants:
             data.skipped_stems.append(stem)
             continue
         for value in (ZERO, ONE):
-            result = simulator.inject_single(stem, value,
-                                             max_frames=max_frames)
+            result = runs.get((stem, value))
+            if result is None:
+                result = _normalized(simulator.inject_single(
+                    stem, value, max_frames=max_frames))
             data.runs[(stem, value)] = result
             for frame in range(len(result.frames)):
                 for nid, val in result.implied(frame).items():
@@ -70,6 +122,153 @@ def run_single_node(simulator: FrameSimulator,
                     data.justifications.setdefault((nid, val), []).append(
                         (stem, value, frame))
     return data
+
+
+# ----------------------------------------------------------------------
+# batched injections over the compiled two-plane evaluator
+# ----------------------------------------------------------------------
+def _batched_runs(simulator: FrameSimulator, stems: List[int],
+                  max_frames: int, width: int
+                  ) -> Dict[Tuple[int, int], InjectionResult]:
+    """Simulate both injections of many stems bit-parallel.
+
+    One machine (bit column) per (stem, value) pair; machines are
+    independent because two-plane evaluation is bitwise.  Stems whose
+    frame-0 value is already derived from tie constants are *skipped*
+    for the opposite injection -- that injection conflicts mid-
+    propagation in the event simulator, and the caller's reference
+    fallback reproduces the partial conflict run exactly.
+    """
+    circuit = simulator.circuit
+    cc = compile_circuit(circuit)
+    # Frame-0 values derivable with no injection at all (tie cones):
+    # the only values an injection can collide with.
+    baseline = simulator.run({}, max_frames=1).frames[0]
+    pairs: List[Tuple[int, int]] = []
+    for stem in stems:
+        derived = baseline.get(stem)
+        for value in (ZERO, ONE):
+            if derived is None or derived == value:
+                pairs.append((stem, value))
+    # Per-FF transfer permissions, split by captured value; the rule
+    # table (clock-domain class, multi-port, set/reset kinds) lives in
+    # one place only: the event simulator's ``_transfer_ok``.
+    ff_allow: List[Tuple[bool, bool]] = []
+    for fid in cc.ffs:
+        node = circuit.nodes[fid]
+        ff_allow.append((simulator._transfer_ok(node, ZERO),
+                         simulator._transfer_ok(node, ONE)))
+    out: Dict[Tuple[int, int], InjectionResult] = {}
+    for start in range(0, len(pairs), width):
+        out.update(_run_batch(cc, pairs[start:start + width],
+                              max_frames, ff_allow))
+    return out
+
+
+def _run_batch(cc, batch: List[Tuple[int, int]], max_frames: int,
+               ff_allow: List[Tuple[bool, bool]]
+               ) -> Dict[Tuple[int, int], InjectionResult]:
+    n = cc.n
+    k = len(batch)
+    full = (1 << k) - 1
+    source_set = set(cc.inputs) | set(cc.ffs)
+    src_zero: Dict[int, int] = {}
+    src_one: Dict[int, int] = {}
+    gate_zero: Dict[int, int] = {}
+    gate_one: Dict[int, int] = {}
+    for i, (stem, value) in enumerate(batch):
+        if stem in source_set:
+            target = src_zero if value == ZERO else src_one
+        else:
+            target = gate_zero if value == ZERO else gate_one
+        target[stem] = target.get(stem, 0) | (1 << i)
+    hot = frozenset(gate_zero) | frozenset(gate_one)
+
+    def fix(nid: int, c0: int, c1: int, *_fp: int) -> Tuple[int, int]:
+        z = gate_zero.get(nid, 0)
+        o = gate_one.get(nid, 0)
+        keep = ~(z | o)
+        return (c0 & keep) | z, (c1 & keep) | o
+
+    m0 = [0] * n
+    m1 = [0] * n
+    n_ffs = len(cc.ffs)
+    s0 = [0] * n_ffs
+    s1 = [0] * n_ffs
+    frames_acc: List[List[Dict[int, int]]] = [[] for _ in range(k)]
+    state_acc: List[Dict[int, int]] = [{} for _ in range(k)]
+    repeated = [False] * k
+    active = full
+    frame = 0
+    while frame < max_frames and active:
+        for nid in cc.inputs:
+            m0[nid] = m1[nid] = 0
+        for j, fid in enumerate(cc.ffs):
+            m0[fid] = s0[j]
+            m1[fid] = s1[j]
+        if frame == 0:
+            for nid, bits in src_zero.items():
+                m0[nid] |= bits
+            for nid, bits in src_one.items():
+                m1[nid] |= bits
+            cc.eval_planes(m0, m1, full, hot, fix, trace=True)
+        else:
+            cc.eval_planes(m0, m1, full, trace=True)
+        # Extract this frame's known values per still-active machine
+        # (ascending nid: the canonical frame-dict order).
+        current: Dict[int, Dict[int, int]] = {}
+        bits = active
+        while bits:
+            low = bits & -bits
+            i = low.bit_length() - 1
+            bits ^= low
+            values: Dict[int, int] = {}
+            current[i] = values
+            frames_acc[i].append(values)
+        for nid in range(n):
+            known = (m0[nid] | m1[nid]) & active
+            if not known:
+                continue
+            zplane = m0[nid]
+            while known:
+                low = known & -known
+                known ^= low
+                current[low.bit_length() - 1][nid] = \
+                    ZERO if zplane & low else ONE
+        # Frame boundary: per-machine implied FF state + stop rules
+        # (mirrors FrameSimulator.run step 5 exactly).
+        done = 0
+        bits = active
+        while bits:
+            low = bits & -bits
+            i = low.bit_length() - 1
+            bits ^= low
+            next_state: Dict[int, int] = {}
+            for j, fid in enumerate(cc.ffs):
+                data = cc.ff_data[j]
+                if m0[data] & low:
+                    if ff_allow[j][0]:
+                        next_state[fid] = ZERO
+                elif m1[data] & low:
+                    if ff_allow[j][1]:
+                        next_state[fid] = ONE
+            if next_state == state_acc[i] or not next_state:
+                repeated[i] = True
+                done |= low
+            else:
+                state_acc[i] = next_state
+        active &= ~done
+        for j in range(n_ffs):
+            data = cc.ff_data[j]
+            allow0, allow1 = ff_allow[j]
+            s0[j] = m0[data] if allow0 else 0
+            s1[j] = m1[data] if allow1 else 0
+        frame += 1
+    return {
+        pair: InjectionResult(frames=frames_acc[i],
+                              injected={(0, pair[0])},
+                              conflict=None, repeated=repeated[i])
+        for i, pair in enumerate(batch)}
 
 
 def extract_same_frame_relations(data: SingleNodeData, db: RelationDB,

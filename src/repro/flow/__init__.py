@@ -18,6 +18,7 @@ remain as the underlying primitives)::
 """
 
 from .config import (
+    ATPG_ENGINES,
     ATPG_MODES,
     SIM_BACKENDS,
     ATPGConfig,
@@ -54,8 +55,8 @@ from .parallel_suite import (
 )
 
 __all__ = [
-    "ATPG_MODES", "SIM_BACKENDS", "ATPGConfig", "ConfigError",
-    "ReproConfig",
+    "ATPG_ENGINES", "ATPG_MODES", "SIM_BACKENDS", "ATPGConfig",
+    "ConfigError", "ReproConfig",
     "ArtifactError", "StaleArtifactError",
     "atpg_stats_from_dict", "atpg_stats_to_dict",
     "circuit_fingerprint",

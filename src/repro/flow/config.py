@@ -15,11 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
+from ..atpg.engine import ATPG_ENGINES
 from ..core.engine import LearnConfig
 from ..sim.compiled import SIM_BACKENDS
 
 #: Legal values for :attr:`ATPGConfig.mode`.
 ATPG_MODES = ("none", "forbidden", "known")
+
+__all__ = ["ATPG_MODES", "ATPG_ENGINES", "SIM_BACKENDS", "ATPGConfig",
+           "ConfigError", "ReproConfig"]
 
 
 class ConfigError(ValueError):
@@ -59,6 +63,12 @@ class ATPGConfig:
     #: (the original interpreters).  Results are bit-identical; the
     #: reference backend exists for differential testing and debugging.
     sim_backend: str = "compiled"
+    #: PODEM engine behind test generation: 'incremental' (event-driven
+    #: window updates with trail-based backtracking, the default) or
+    #: 'reference' (full window re-simulation per decision).  Results
+    #: are bit-identical; the reference engine is the oracle of the
+    #: differential harness.
+    atpg_engine: str = "incremental"
 
     def validate(self) -> "ATPGConfig":
         """Raise :class:`ConfigError` on out-of-range values."""
@@ -69,6 +79,10 @@ class ATPGConfig:
             raise ConfigError(
                 f"sim_backend must be one of {SIM_BACKENDS}, "
                 f"got {self.sim_backend!r}")
+        if self.atpg_engine not in ATPG_ENGINES:
+            raise ConfigError(
+                f"atpg_engine must be one of {ATPG_ENGINES}, "
+                f"got {self.atpg_engine!r}")
         if self.backtrack_limit < 1:
             raise ConfigError("backtrack_limit must be >= 1")
         if self.max_frames < 1:

@@ -279,7 +279,10 @@ class Session:
 
         ``mode='none'`` is the paper's true no-learning baseline: the
         learned result is withheld entirely, including the tie-gate
-        untestability screen.
+        untestability screen.  The PODEM engine follows
+        ``config.atpg.atpg_engine`` ('incremental' by default,
+        'reference' as the oracle); statistics are bit-identical for
+        either engine.
         """
         mode = mode or self.config.atpg.mode
         if mode not in ATPG_MODES:
