@@ -1,0 +1,129 @@
+"""End-to-end tour of the versioned ``repro.api`` boundary.
+
+Three acts:
+
+1. **In-process**: build typed requests, execute them, watch the
+   streaming event protocol, reuse learning through the
+   content-addressed artifact store.
+2. **Wire form**: the same request as canonical JSON -- what the CLI
+   builds from argv and what an HTTP client POSTs.
+3. **Over HTTP**: spin up the ``repro serve`` daemon in-process, fire
+   concurrent mixed requests at it, and verify the responses are
+   byte-identical to one-shot runs.
+
+Run with::
+
+    PYTHONPATH=src python examples/api_client.py
+"""
+
+import http.client
+import json
+import threading
+from contextlib import closing
+
+from repro.api import (
+    ATPGRequest,
+    ArtifactStore,
+    LearnRequest,
+    StageEvent,
+    execute,
+    make_server,
+)
+from repro.core import LearnConfig
+from repro.flow import ATPGConfig, ReproConfig
+
+CONFIG = ReproConfig(learn=LearnConfig(max_frames=20),
+                     atpg=ATPGConfig(backtrack_limit=10, max_frames=5))
+
+
+def act_one_in_process() -> None:
+    print("=== 1. in-process: requests, events, the artifact store ===")
+    store = ArtifactStore()  # in-memory; pass root=... to persist
+
+    def narrate(event):
+        if isinstance(event, StageEvent):
+            print(f"  stage {event.stage:12s} {event.summary}")
+
+    learn = execute(LearnRequest(spec="s27", config=CONFIG),
+                    events=narrate, store=store)
+    assert learn.ok
+    print(f"  learned: {learn.result['learn']}")
+    print(f"  learn digest: {learn.result['learn_digest'][:16]}...")
+
+    # Same circuit + learning config => the store answers, no relearn.
+    atpg = execute(ATPGRequest(spec="s27", config=CONFIG,
+                               modes=("none", "known")), store=store)
+    assert atpg.ok
+    for mode, row in atpg.result["atpg"].items():
+        print(f"  atpg[{mode}]: detected {row['det']}/{row['total']}")
+    print(f"  store: {store.stats()}")
+
+
+def act_two_wire_form() -> None:
+    print("\n=== 2. the wire form: canonical JSON, versioned ===")
+    request = ATPGRequest(spec="s27", config=CONFIG, modes=("known",),
+                          canonical=True)
+    document = request.to_canonical_json()
+    print(f"  request:  {document[:72]}...")
+    response = execute(json.loads(document))  # dicts execute too
+    envelope = response.envelope()
+    print(f"  response: schema_version={envelope['schema_version']} "
+          f"command={envelope['command']} ok={envelope['ok']}")
+
+    failure = execute({"kind": "atpg", "spec": "like:nope"})
+    print(f"  failure envelope: {failure.envelope()['error']}")
+
+
+def act_three_daemon() -> None:
+    print("\n=== 3. repro serve: warm, concurrent, byte-identical ===")
+    server = make_server(port=0, store=ArtifactStore())
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    print(f"  daemon on http://{host}:{port}")
+
+    requests = [
+        LearnRequest(spec="figure1", config=CONFIG, canonical=True),
+        ATPGRequest(spec="figure1", config=CONFIG, modes=("known",),
+                    canonical=True),
+        LearnRequest(spec="s27", config=CONFIG, canonical=True),
+        ATPGRequest(spec="s27", config=CONFIG, modes=("known",),
+                    canonical=True),
+    ] * 2
+    one_shot = [execute(request).to_json().encode()
+                for request in requests]
+
+    answers = [None] * len(requests)
+
+    def client(index: int, body: str) -> None:
+        with closing(http.client.HTTPConnection(host, port,
+                                                timeout=60)) as conn:
+            conn.request("POST", "/v1/execute", body=body)
+            answers[index] = conn.getresponse().read()
+
+    threads = [threading.Thread(target=client,
+                                args=(i, r.to_canonical_json()))
+               for i, r in enumerate(requests)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    identical = all(a == b for a, b in zip(answers, one_shot))
+    print(f"  {len(requests)} concurrent mixed requests, "
+          f"byte-identical to one-shot runs: {identical}")
+
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=60)) as conn:
+        conn.request("GET", "/v1/health")
+        health = json.loads(conn.getresponse().read())
+    print(f"  health: served={health['requests_served']} "
+          f"kernel_cache={health['kernel_cache']} "
+          f"store_hits={health['artifact_store']['memory_hits']}")
+    server.shutdown()
+    server.server_close()
+    assert identical
+
+
+if __name__ == "__main__":
+    act_one_in_process()
+    act_two_wire_form()
+    act_three_daemon()

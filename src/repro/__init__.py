@@ -4,29 +4,29 @@ A from-scratch Python reproduction of El-Maleh, Kassab and Rajski, "A
 Fast Sequential Learning Technique for Real Circuits with Application to
 Enhancing ATPG Performance" (DAC 1998).
 
-The canonical flow is the :class:`repro.flow.Session` pipeline -- learn
-once, persist the artifact, reuse it across ATPG runs::
+The canonical entry point is the versioned :mod:`repro.api` boundary --
+build a typed request, execute it, read the response envelope::
 
-    from repro import Session, ReproConfig, ATPGConfig
+    from repro.api import ATPGRequest, LearnRequest, execute
 
-    session = Session("figure1")
-    learned = session.learn()                # cached stage
-    print(learned.summary())                 # relations, ties, CPU
-    session.save_learned("figure1.json")     # JSON artifact
+    response = execute(LearnRequest(spec="figure1",
+                                    save="figure1.json"))
+    print(response.result["learn"])          # relations, ties, CPU
 
-    rerun = Session("figure1",
-                    ReproConfig(atpg=ATPGConfig(mode="forbidden")))
-    rerun.load_learned("figure1.json")       # skip relearning
-    stats = rerun.atpg()                     # uses the artifact
-    print(stats.row())                       # det / untest / CPU
+    rerun = execute(ATPGRequest(spec="figure1", modes=("forbidden",),
+                                learned="figure1.json"))
+    print(rerun.result["atpg"]["forbidden"]) # det / untest / CPU
 
-The same pipeline drives the CLI: ``repro learn figure1 --save f.json``
-then ``repro atpg figure1 --learned f.json --json``.  The original free
-functions (:func:`learn`, :func:`run_atpg`, ...) remain available as the
-underlying primitives.
+The same requests drive the CLI (``repro learn figure1 --save f.json``
+then ``repro atpg figure1 --learned f.json --json``) and the warm
+``repro serve`` daemon (``POST /v1/execute``).  The pre-API
+:class:`repro.flow.Session` facade remains as a deprecation shim, and
+the original free functions (:func:`learn`, :func:`run_atpg`, ...) stay
+available as the underlying primitives.
 
 Packages:
 
+* :mod:`repro.api` -- versioned requests, execute(), events, the daemon
 * :mod:`repro.flow` -- sessions, typed configs, serializable artifacts
 * :mod:`repro.circuit` -- netlists, bench IO, built-ins, generator, retiming
 * :mod:`repro.sim` -- event-driven 3-valued, bit-parallel, fault simulation
@@ -69,6 +69,7 @@ from .flow import (
     ArtifactError,
     CircuitResolveError,
     ConfigError,
+    PipelineSession,
     ReproConfig,
     Session,
     StaleArtifactError,
@@ -79,6 +80,8 @@ from .flow import (
     run_suite,
     save_learn_result,
 )
+from . import api
+from .api import Response, execute
 
 __version__ = "1.1.0"
 
@@ -93,8 +96,9 @@ __all__ = [
     "analyze_state_space",
     "FrameSimulator", "fault_simulate", "simulate_sequence",
     "ATPGConfig", "ArtifactError", "CircuitResolveError", "ConfigError",
-    "ReproConfig", "Session", "StaleArtifactError", "SuiteReport",
-    "circuit_fingerprint", "load_learn_result", "resolve_circuit",
-    "run_suite", "save_learn_result",
+    "PipelineSession", "ReproConfig", "Session", "StaleArtifactError",
+    "SuiteReport", "circuit_fingerprint", "load_learn_result",
+    "resolve_circuit", "run_suite", "save_learn_result",
+    "api", "Response", "execute",
     "__version__",
 ]

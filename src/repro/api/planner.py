@@ -1,0 +1,167 @@
+"""Compile a request into an executable task DAG.
+
+The executor does not improvise: every request first becomes a
+:class:`Plan` -- an ordered list of :class:`TaskNode` with explicit
+dependencies -- and the plan is what runs.  This buys three things:
+
+* **Cache visibility.**  The planner probes the artifact store, so a
+  plan says up front which learn stages will be satisfied from cache
+  (``cached=True``) and which must compute.
+* **Introspection.**  ``Plan.to_dict()`` is JSON; clients (and the
+  event stream) can see exactly what a request will cost before or
+  while it runs.
+* **Shared execution.**  Suite plans fan out one pipeline node per
+  circuit and execute on :mod:`repro.flow.parallel_suite`'s worker
+  pool -- the planner decides *what*, the pool decides *where*.
+
+The DAG is deliberately coarse (stages, not gates): nodes mirror the
+pipeline's stage names so plans, progress events and report records all
+speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from .requests import (
+    ATPGRequest,
+    CompareRequest,
+    FaultSimRequest,
+    LearnRequest,
+    Request,
+    SuiteRequest,
+    UntestableRequest,
+)
+from .store import ArtifactStore, learn_digest
+
+__all__ = ["TaskNode", "Plan", "plan_request"]
+
+
+@dataclass
+class TaskNode:
+    """One unit of planned work."""
+
+    task_id: str
+    stage: str
+    depends_on: Tuple[str, ...] = ()
+    #: True when the planner found the result in the artifact store.
+    cached: bool = False
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"task_id": self.task_id, "stage": self.stage,
+                "depends_on": list(self.depends_on),
+                "cached": self.cached, "detail": dict(self.detail)}
+
+
+@dataclass
+class Plan:
+    """An executable DAG: topologically ordered task nodes."""
+
+    kind: str
+    nodes: List[TaskNode] = field(default_factory=list)
+    #: Worker processes the execution layer will use (suites only).
+    jobs: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "jobs": self.jobs,
+                "nodes": [node.to_dict() for node in self.nodes]}
+
+    def summary(self) -> Dict[str, object]:
+        """Small dict for progress events and logs."""
+        return {"kind": self.kind, "nodes": len(self.nodes),
+                "cached": sum(1 for n in self.nodes if n.cached),
+                "jobs": self.jobs}
+
+
+def _learn_nodes(request: Request, circuit: Optional[Circuit],
+                 store: Optional[ArtifactStore],
+                 depends_on: Tuple[str, ...]) -> List[TaskNode]:
+    """resolve -> learn prefix shared by every learning consumer."""
+    detail: Dict[str, object] = {}
+    cached = False
+    if circuit is not None:
+        digest = learn_digest(circuit, request.config.learn)
+        detail["learn_digest"] = digest
+        cached = store is not None and store.has_learn(digest)
+    return [TaskNode(task_id="learn", stage="learn",
+                     depends_on=depends_on, cached=cached,
+                     detail=detail)]
+
+
+def plan_request(request: Request,
+                 circuit: Optional[Circuit] = None,
+                 store: Optional[ArtifactStore] = None) -> Plan:
+    """Compile ``request`` into its task DAG.
+
+    ``circuit`` is the already-resolved netlist for single-circuit
+    requests (the planner never resolves: resolution is itself a
+    pipeline stage, and for suites it happens per-worker).  When given,
+    learn nodes carry their content digest and cache verdict.
+    """
+    plan = Plan(kind=request.KIND)
+    resolve = TaskNode(task_id="resolve", stage="resolve",
+                       detail={"spec": str(getattr(request, "spec", ""))})
+
+    if isinstance(request, LearnRequest):
+        plan.nodes = [resolve] + _learn_nodes(request, circuit, store,
+                                              ("resolve",))
+        if request.validate_sequences:
+            plan.nodes.append(TaskNode(
+                task_id="validate", stage="validate",
+                depends_on=("learn",),
+                detail={"sequences": request.validate_sequences}))
+        if request.save:
+            plan.nodes.append(TaskNode(
+                task_id="save", stage="save", depends_on=("learn",),
+                detail={"path": request.save}))
+    elif isinstance(request, UntestableRequest):
+        plan.nodes = [resolve] + _learn_nodes(request, circuit, store,
+                                              ("resolve",))
+        plan.nodes.append(TaskNode(task_id="untestable",
+                                   stage="untestable",
+                                   depends_on=("learn",)))
+    elif isinstance(request, (ATPGRequest, FaultSimRequest)):
+        modes = request.modes or (request.config.atpg.mode,)
+        plan.nodes = [resolve]
+        needs_learn = (getattr(request, "learned", None) is not None
+                       or any(mode != "none" for mode in modes))
+        after: Tuple[str, ...] = ("resolve",)
+        if needs_learn:
+            plan.nodes += _learn_nodes(request, circuit, store,
+                                       ("resolve",))
+            if getattr(request, "learned", None) is not None:
+                plan.nodes[-1].detail["artifact"] = request.learned
+            after = ("learn",)
+        for mode in modes:
+            node_id = f"atpg[{mode}]"
+            plan.nodes.append(TaskNode(task_id=node_id, stage=node_id,
+                                       depends_on=after))
+            if isinstance(request, FaultSimRequest):
+                plan.nodes.append(TaskNode(
+                    task_id=f"fault_sim[{mode}]",
+                    stage=f"fault_sim[{mode}]",
+                    depends_on=(node_id,)))
+    elif isinstance(request, CompareRequest):
+        plan.nodes = [resolve] + _learn_nodes(request, circuit, store,
+                                              ("resolve",))
+        plan.nodes.append(TaskNode(
+            task_id="compare", stage="compare", depends_on=("learn",),
+            detail={"backtrack_limits": list(request.backtrack_limits)}))
+    elif isinstance(request, SuiteRequest):
+        jobs = request.config.jobs
+        plan.jobs = jobs
+        for index, spec in enumerate(request.specs):
+            plan.nodes.append(TaskNode(
+                task_id=f"pipeline[{index}]", stage="pipeline",
+                detail={"spec": str(spec),
+                        "modes": list(request.modes)}))
+    else:  # stats / analyze / list: one leaf
+        if hasattr(request, "spec"):
+            plan.nodes = [resolve]
+        plan.nodes.append(TaskNode(
+            task_id=request.KIND, stage=request.KIND,
+            depends_on=("resolve",) if hasattr(request, "spec") else ()))
+    return plan

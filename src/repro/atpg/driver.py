@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..circuit.netlist import Circuit
 from ..core.engine import LearnResult
@@ -91,7 +91,9 @@ def run_atpg(circuit: Circuit, *,
              max_faults: Optional[int] = None,
              keep_sequences: bool = True,
              sim_backend: str = "compiled",
-             atpg_engine: str = "incremental") -> ATPGStats:
+             atpg_engine: str = "incremental",
+             progress: Optional[Callable[[int, int], None]] = None
+             ) -> ATPGStats:
     """Generate tests for every fault; returns aggregate statistics.
 
     ``mode`` is 'none' (no sequential learning), 'known' or 'forbidden'
@@ -110,6 +112,12 @@ def run_atpg(circuit: Circuit, *,
     'reference'); ``atpg_engine`` picks the PODEM engine ('incremental'
     or 'reference', see :func:`repro.atpg.engine.make_atpg`).  Counts,
     sequences and statistics are identical for every combination.
+
+    ``progress`` (never part of ``config``: it is UI, not data) is
+    called as ``progress(targeted, total)`` after each fault the main
+    loop targets, so long runs can stream liveness without changing any
+    result -- the API layer turns it into
+    :class:`~repro.api.events.ProgressEvent` ticks.
     """
     if config is not None:
         mode = config.mode
@@ -149,8 +157,12 @@ def run_atpg(circuit: Circuit, *,
             status[index_of[fault]] = "untestable"
     remaining: List[int] = [i for i in range(len(faults))
                             if i not in status]
+    targeted = 0
     for index in list(remaining):
+        targeted += 1
         if status.get(index) is not None:
+            if progress is not None:
+                progress(targeted, len(remaining))
             continue
         result = atpg.generate(faults[index])
         stats.decisions += result.decisions
@@ -173,6 +185,8 @@ def run_atpg(circuit: Circuit, *,
                             stats.collateral += 1
         else:
             status[index] = result.status
+        if progress is not None:
+            progress(targeted, len(remaining))
     for verdict in status.values():
         if verdict == "detected":
             stats.detected += 1

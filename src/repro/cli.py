@@ -4,43 +4,59 @@ Commands
 --------
 learn CIRCUIT        run sequential learning; ``--save FILE`` persists it
 atpg CIRCUIT         ATPG comparison; ``--learned FILE`` skips relearning
+faultsim CIRCUIT     grade generated tests against the full fault list
+compare CIRCUIT      the paper's Table-5 protocol over backtrack limits
 suite CIRCUIT...     batch pipeline over many circuits (JSON report);
                      ``--jobs N`` shards them over N worker processes
 untestable CIRCUIT   tie-gate vs FIRES untestability comparison
 analyze CIRCUIT      density of encoding (small circuits)
 stats CIRCUIT        structural statistics
 list                 list built-in circuit names
+serve                run the warm JSON-over-HTTP daemon
 
 Every command takes ``--json`` for machine-readable output on stdout.
 CIRCUIT is a built-in name (``figure1``, ``s27``, ...), a profile name
 prefixed with ``like:`` (``like:s382`` or ``like:s382@0.5``), or a path
 to an ISCAS-89 ``.bench`` file.
 
-The commands are thin wrappers over :class:`repro.flow.Session`; use
-that API directly from Python.
+This module is a pure adapter: argv parses into a typed
+:mod:`repro.api` request, :func:`repro.api.execute` runs it, and the
+response envelope renders as text or JSON.  ``--json`` output *is* the
+versioned envelope (``schema_version``, ``command``, ``ok``, result
+fields inlined) -- byte-identical to what ``repro serve`` answers for
+the same request document.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
-from .analysis import analyze_state_space
+from .api import (
+    ATPGRequest,
+    AnalyzeRequest,
+    CompareRequest,
+    FaultSimRequest,
+    LearnRequest,
+    ListRequest,
+    ProgressEvent,
+    Request,
+    Response,
+    StatsRequest,
+    SuiteRequest,
+    UntestableRequest,
+    execute,
+)
 from .circuit.netlist import Circuit
 from .core import LearnConfig
 from .flow import (
     ATPG_ENGINES,
     ATPG_MODES,
     SIM_BACKENDS,
-    ArtifactError,
     ATPGConfig,
     CircuitResolveError,
-    ConfigError,
     ReproConfig,
-    Session,
-    run_suite,
 )
 from .flow.session import resolve_circuit as _resolve_circuit
 
@@ -53,182 +69,205 @@ def resolve_circuit(spec: str, retime: int = 0) -> Circuit:
         raise SystemExit(f"repro: error: {exc}") from exc
 
 
-def _print_json(payload) -> None:
-    print(json.dumps(payload, indent=1, sort_keys=False))
-
-
-def _session(args, learn_config: Optional[LearnConfig] = None,
-             atpg_config: Optional[ATPGConfig] = None) -> Session:
+# ----------------------------------------------------------------------
+# argv -> request
+# ----------------------------------------------------------------------
+def _config(args, learn_config: Optional[LearnConfig] = None,
+            atpg_config: Optional[ATPGConfig] = None) -> ReproConfig:
     atpg_config = atpg_config or ATPGConfig()
     atpg_config.sim_backend = getattr(args, "backend",
                                       atpg_config.sim_backend)
     atpg_config.atpg_engine = getattr(args, "atpg_engine",
                                       atpg_config.atpg_engine)
-    config = ReproConfig(learn=learn_config or LearnConfig(),
-                         atpg=atpg_config,
-                         retime=getattr(args, "retime", 0))
-    return Session(args.circuit, config=config)
+    return ReproConfig(learn=learn_config or LearnConfig(),
+                       atpg=atpg_config,
+                       retime=getattr(args, "retime", 0),
+                       jobs=getattr(args, "jobs", 1))
 
 
-def _cmd_list(args) -> int:
-    from .circuit import builtin_names
-
-    names = builtin_names()
-    if args.json:
-        _print_json({"command": "list", "circuits": names})
-    else:
-        for name in names:
-            print(name)
-    return 0
+def _req_list(args) -> Request:
+    return ListRequest()
 
 
-def _cmd_stats(args) -> int:
-    circuit = resolve_circuit(args.circuit, args.retime)
-    if args.json:
-        _print_json({"command": "stats", "circuit": circuit.name,
-                     "fingerprint": circuit.fingerprint(),
-                     **circuit.stats()})
-    else:
-        print(f"{circuit.name}: {circuit.stats()}")
-    return 0
+def _req_stats(args) -> Request:
+    return StatsRequest(spec=args.circuit, config=_config(args))
 
 
-def _cmd_learn(args) -> int:
-    session = _session(args, learn_config=LearnConfig(
-        max_frames=args.max_frames,
-        use_multi_node=not args.no_multi,
-        use_equivalence=not args.no_equiv))
-    result = session.learn()
-    if args.save:
-        session.save_learned(args.save)
-    violations: Optional[List[str]] = None
-    if args.validate:
-        violations = result.validate(n_sequences=args.validate)
-    if args.json:
-        payload = {"command": "learn", **session.report()}
-        if args.save:
-            payload["artifact"] = args.save
-        if violations is not None:
-            payload["validation"] = {"sequences": args.validate,
-                                     "violations": violations}
-        _print_json(payload)
-        return 1 if violations else 0
-    print("summary:", result.summary())
+def _req_learn(args) -> Request:
+    return LearnRequest(
+        spec=args.circuit,
+        config=_config(args, learn_config=LearnConfig(
+            max_frames=args.max_frames,
+            use_multi_node=not args.no_multi,
+            use_equivalence=not args.no_equiv)),
+        validate_sequences=args.validate,
+        save=args.save,
+        canonical=getattr(args, "canonical", False),
+        # Tie/relation listings ride on the payload only when the text
+        # renderer needs them; the historical --json shape stays lean.
+        details=args.verbose and not args.json)
+
+
+def _atpg_config(args, **overrides) -> ATPGConfig:
+    return ATPGConfig(backtrack_limit=args.backtrack_limit,
+                      max_frames=args.window,
+                      max_faults=args.max_faults,
+                      **overrides)
+
+
+def _req_atpg(args) -> Request:
+    modes = tuple(ATPG_MODES) if args.mode == "all" else (args.mode,)
+    return ATPGRequest(
+        spec=args.circuit,
+        config=_config(args,
+                       learn_config=LearnConfig(max_frames=args.max_frames),
+                       atpg_config=_atpg_config(args)),
+        modes=modes,
+        learned=args.learned,
+        canonical=getattr(args, "canonical", False))
+
+
+def _req_faultsim(args) -> Request:
+    modes = tuple(ATPG_MODES) if args.mode == "all" else (args.mode,)
+    return FaultSimRequest(
+        spec=args.circuit,
+        config=_config(args,
+                       learn_config=LearnConfig(max_frames=args.max_frames),
+                       atpg_config=_atpg_config(args)),
+        modes=modes,
+        canonical=getattr(args, "canonical", False))
+
+
+def _req_compare(args) -> Request:
+    return CompareRequest(
+        spec=args.circuit,
+        config=_config(args,
+                       learn_config=LearnConfig(max_frames=args.max_frames),
+                       atpg_config=_atpg_config(args)),
+        backtrack_limits=tuple(args.backtrack_limits),
+        canonical=getattr(args, "canonical", False))
+
+
+def _req_suite(args) -> Request:
+    modes = tuple(ATPG_MODES) if args.mode == "all" else (args.mode,)
+    return SuiteRequest(
+        specs=tuple(args.circuits),
+        config=_config(args,
+                       learn_config=LearnConfig(max_frames=args.max_frames),
+                       atpg_config=_atpg_config(args)),
+        modes=modes,
+        out=args.out,
+        canonical=args.canonical)
+
+
+def _req_untestable(args) -> Request:
+    return UntestableRequest(spec=args.circuit, config=_config(args),
+                             canonical=getattr(args, "canonical", False))
+
+
+def _req_analyze(args) -> Request:
+    return AnalyzeRequest(spec=args.circuit, config=_config(args),
+                          max_ffs=args.max_ffs)
+
+
+# ----------------------------------------------------------------------
+# response -> text
+# ----------------------------------------------------------------------
+def _render_learn(args, result) -> None:
+    print("summary:", result["learn"])
     if args.save:
         print(f"saved learning artifact to {args.save}")
     if args.verbose:
-        circuit = session.circuit
+        details = result.get("details", {})
         print("\nties:")
-        for tie in result.ties.all():
-            kind = "seq" if tie.sequential else "comb"
-            print(f"  {circuit.nodes[tie.nid].name} = {tie.value} "
-                  f"[{kind}, {tie.phase}]")
+        for tie in details.get("ties", ()):
+            print(f"  {tie['node']} = {tie['value']} "
+                  f"[{tie['kind']}, {tie['phase']}]")
         print("\nrelations:")
-        for line in result.relations.dump():
+        for line in details.get("relations", ()):
             print(f"  {line}")
-    if violations is not None:
+    validation = result.get("validation")
+    if validation is not None:
+        violations = validation["violations"]
         print(f"\nvalidation: {len(violations)} violations")
         for violation in violations[:10]:
             print(f"  {violation}")
-        return 1 if violations else 0
-    return 0
 
 
-def _cmd_atpg(args) -> int:
-    session = _session(
-        args,
-        learn_config=LearnConfig(max_frames=args.max_frames),
-        atpg_config=ATPGConfig(backtrack_limit=args.backtrack_limit,
-                               max_frames=args.window,
-                               max_faults=args.max_faults))
-    modes = list(ATPG_MODES) if args.mode == "all" else [args.mode]
-    # An explicit --learned artifact is always loaded (so a stale one
-    # fails loudly even for the 'none' baseline), but learning from
-    # scratch is skipped when no learning mode actually runs.
-    learned = None
-    if args.learned:
-        learned = session.load_learned(args.learned)
-    elif any(mode != "none" for mode in modes):
-        learned = session.learn()
-    rows = session.compare(modes)
-    if args.json:
-        payload = {"command": "atpg", **session.report()}
-        if args.learned:
-            payload["artifact"] = args.learned
-        _print_json(payload)
-        return 0
-    if learned is not None:
+def _render_atpg(args, result) -> None:
+    if "learn" in result:
         source = f" (from {args.learned})" if args.learned else ""
-        print(f"learning: {learned.summary()}{source}\n")
-    for stats in rows:
-        print(f"mode={stats.mode:9s} {stats.row()}")
-    return 0
+        print(f"learning: {result['learn']}{source}\n")
+    for mode, row in result.get("atpg", {}).items():
+        print(f"mode={mode:9s} {row}")
 
 
-def _cmd_suite(args) -> int:
-    config = ReproConfig(
-        learn=LearnConfig(max_frames=args.max_frames),
-        atpg=ATPGConfig(backtrack_limit=args.backtrack_limit,
-                        max_frames=args.window,
-                        max_faults=args.max_faults,
-                        sim_backend=args.backend,
-                        atpg_engine=args.atpg_engine),
-        retime=args.retime,
-        jobs=args.jobs)
-    modes = list(ATPG_MODES) if args.mode == "all" else [args.mode]
-    progress = None
-    if not args.json:
-        def progress(stage, event, payload):
-            if event == "end":
-                print(f"  {stage}: {payload}")
-    report = run_suite(args.circuits, config=config, modes=modes,
-                       progress=progress)
-    if args.out:
-        report.save(args.out, canonical=args.canonical)
-    if args.json:
-        payload = (report.canonical_dict() if args.canonical
-                   else report.to_dict())
-        _print_json({"command": "suite", **payload})
-    else:
-        print("\nsuite results:")
-        for row in report.rows():
+def _render_faultsim(args, result) -> None:
+    if "learn" in result:
+        print(f"learning: {result['learn']}\n")
+    for mode, grade in result.get("fault_sim", {}).items():
+        print(f"mode={mode:9s} {grade}")
+
+
+def _render_compare(args, result) -> None:
+    if "learn" in result:
+        print(f"learning: {result['learn']}\n")
+    for row in result["compare"]["rows"]:
+        print(f"limit={row['backtrack_limit']:<5d} "
+              f"mode={row['mode']:9s} {row}")
+
+
+def _render_suite(args, result) -> None:
+    print("\nsuite results:")
+    for report in result["reports"]:
+        for mode, stats in sorted(report.get("atpg", {}).items()):
+            row = {"circuit": report["circuit"], "mode": mode, **stats}
             print(f"  {row}")
-        for error in report.errors:
-            print(f"  error: {error['spec']}: {error['error']}",
-                  file=sys.stderr)
-        if args.out:
-            print(f"saved suite report to {args.out}")
-    return 1 if report.errors else 0
+    for error in result["errors"]:
+        print(f"  error: {error['spec']}: {error['error']}",
+              file=sys.stderr)
+    if args.out:
+        print(f"saved suite report to {args.out}")
 
 
-def _cmd_untestable(args) -> int:
-    session = _session(args)
-    comparison = session.untestable_screen()
-    if args.json:
-        _print_json({"command": "untestable", **session.report()})
-    else:
-        print(comparison.row())
-    return 0
+def _render_untestable(args, result) -> None:
+    print(result["untestable"])
 
 
-def _cmd_analyze(args) -> int:
-    circuit = resolve_circuit(args.circuit, args.retime)
-    space = analyze_state_space(circuit, max_ffs=args.max_ffs)
-    if args.json:
-        _print_json({
-            "command": "analyze",
-            "circuit": circuit.name,
-            "ffs": circuit.num_ffs,
-            "valid_states": len(space.valid_states),
-            "density_of_encoding": space.density_of_encoding,
-        })
-    else:
-        print(f"{circuit.name}: {circuit.num_ffs} FFs, "
-              f"{len(space.valid_states)} valid states, "
-              f"density of encoding {space.density_of_encoding:.4f}")
-    return 0
+def _render_analyze(args, result) -> None:
+    print(f"{result['circuit']}: {result['ffs']} FFs, "
+          f"{result['valid_states']} valid states, "
+          f"density of encoding {result['density_of_encoding']:.4f}")
 
 
+def _render_stats(args, result) -> None:
+    stats = {key: value for key, value in result.items()
+             if key not in ("circuit", "fingerprint")}
+    print(f"{result['circuit']}: {stats}")
+
+
+def _render_list(args, result) -> None:
+    for name in result["circuits"]:
+        print(name)
+
+
+#: command -> (argv -> Request, text renderer).
+_COMMANDS = {
+    "list": (_req_list, _render_list),
+    "stats": (_req_stats, _render_stats),
+    "learn": (_req_learn, _render_learn),
+    "atpg": (_req_atpg, _render_atpg),
+    "faultsim": (_req_faultsim, _render_faultsim),
+    "compare": (_req_compare, _render_compare),
+    "suite": (_req_suite, _render_suite),
+    "untestable": (_req_untestable, _render_untestable),
+    "analyze": (_req_analyze, _render_analyze),
+}
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,7 +277,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_json(p):
         p.add_argument("--json", action="store_true",
-                       help="machine-readable JSON output")
+                       help="machine-readable JSON output (the versioned "
+                            "repro.api response envelope)")
 
     def add_circuit(p):
         p.add_argument("circuit",
@@ -247,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--retime", type=int, default=0, metavar="MOVES",
                        help="apply N backward-retiming moves first")
         add_json(p)
+
+    def add_canonical(p):
+        p.add_argument("--canonical", action="store_true",
+                       help="zero volatile wall-clock fields so the "
+                            "response is byte-identical across runs "
+                            "(and to a repro serve answer)")
 
     def add_backend(p):
         p.add_argument("--backend", default="compiled",
@@ -274,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Monte-Carlo check with N random sequences")
     p.add_argument("--save", metavar="FILE",
                    help="write the learning artifact as JSON")
+    add_canonical(p)
 
     def add_atpg_knobs(p):
         add_backend(p)
@@ -298,6 +345,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--learned", metavar="FILE",
                    help="load a saved learning artifact instead of "
                         "relearning")
+    add_canonical(p)
+
+    p = sub.add_parser("faultsim",
+                       help="fault-grade the generated test sets")
+    add_circuit(p)
+    add_atpg_knobs(p)
+    add_canonical(p)
+
+    p = sub.add_parser("compare",
+                       help="Table-5 protocol: every mode at every "
+                            "backtrack limit")
+    add_circuit(p)
+    add_backend(p)
+    p.add_argument("--atpg-engine", default="incremental",
+                   choices=ATPG_ENGINES)
+    p.add_argument("--backtrack-limits", type=int, nargs="+",
+                   default=[30, 1000], metavar="N",
+                   help="backtrack limits to sweep (paper: 30 and 1000)")
+    p.add_argument("--backtrack-limit", type=int, default=30,
+                   help=argparse.SUPPRESS)  # shared config plumbing
+    p.add_argument("--window", type=int, default=8,
+                   help="maximum time-frame window")
+    p.add_argument("--max-frames", type=int, default=50,
+                   help="learning simulation depth")
+    p.add_argument("--max-faults", type=int, default=None)
+    add_canonical(p)
 
     p = sub.add_parser("suite", help="batch pipeline over many circuits")
     p.add_argument("circuits", nargs="+",
@@ -321,33 +394,70 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("untestable", help="tie gates vs FIRES")
     add_circuit(p)
     add_backend(p)
+    add_canonical(p)
 
     p = sub.add_parser("analyze", help="density of encoding")
     add_circuit(p)
     p.add_argument("--max-ffs", type=int, default=16)
+
+    p = sub.add_parser("serve",
+                       help="run the warm JSON-over-HTTP daemon "
+                            "(POST /v1/execute)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8451)
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="persist learn artifacts content-addressed "
+                        "under DIR (default: in-memory only)")
+    p.add_argument("--allow-file-requests", action="store_true",
+                   help="accept requests that name server-side file "
+                        "paths (save/out/learned); off by default -- "
+                        "network clients would get file access as the "
+                        "daemon user")
     return parser
 
 
-_COMMANDS = {
-    "list": _cmd_list,
-    "stats": _cmd_stats,
-    "learn": _cmd_learn,
-    "atpg": _cmd_atpg,
-    "suite": _cmd_suite,
-    "untestable": _cmd_untestable,
-    "analyze": _cmd_analyze,
-}
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def _suite_progress_sink(event) -> None:
+    """Mirror the historical suite progress lines (stage ends only)."""
+    if (isinstance(event, ProgressEvent) and event.status == "end"
+            and event.stage != "plan"):
+        print(f"  {event.stage}: {event.payload}")
+
+
+def _dispatch(args) -> int:
+    """One command through the API: build request, execute, render."""
+    build_request, render = _COMMANDS[args.command]
+    request = build_request(args)
+    events = None
+    if args.command == "suite" and not args.json:
+        events = _suite_progress_sink
+    response: Response = execute(request, events=events)
+    if args.json:
+        sys.stdout.write(response.to_json())
+        return response.exit_code
+    if not response.ok:
+        raise SystemExit(
+            f"repro: error: {(response.error or {}).get('message')}")
+    render(args, response.result)
+    return response.exit_code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        return _COMMANDS[args.command](args)
-    except BrokenPipeError:  # e.g. `repro ... | head`; not our error
-        raise
-    except (CircuitResolveError, ArtifactError, ConfigError,
-            OSError) as exc:
-        raise SystemExit(f"repro: error: {exc}") from exc
+    if args.command == "serve":
+        from .api.server import serve
+
+        try:
+            serve(host=args.host, port=args.port, store_dir=args.store,
+                  allow_file_requests=args.allow_file_requests)
+        except OSError as exc:  # e.g. port already in use
+            raise SystemExit(f"repro: error: {exc}") from exc
+        return 0
+    # Request faults come back as error envelopes from execute();
+    # BrokenPipeError (e.g. `repro ... | head`) propagates as-is.
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,20 +1,26 @@
 """Pipeline layer: typed configs, serializable artifacts, sessions.
 
-This package is the canonical entry point for driving the reproduction
-end to end (the free functions in :mod:`repro.core` / :mod:`repro.atpg`
-remain as the underlying primitives)::
+This package is the execution layer under the versioned
+:mod:`repro.api` boundary (the free functions in :mod:`repro.core` /
+:mod:`repro.atpg` remain as the underlying primitives)::
 
-    from repro.flow import Session, ReproConfig, ATPGConfig
+    from repro.flow import PipelineSession, ReproConfig, ATPGConfig
 
-    session = Session("s27", ReproConfig(atpg=ATPGConfig(mode="known")))
+    session = PipelineSession(
+        "s27", ReproConfig(atpg=ATPGConfig(mode="known")))
     learned = session.learn()          # cached; run once
     session.save_learned("s27.json")   # reuse in later processes
     stats = session.atpg("known")      # uses the cached learning
 
+New code should prefer :func:`repro.api.execute` with a typed request;
+the historical :class:`Session` name is a deprecation shim over
+:class:`PipelineSession`.
+
 * :mod:`repro.flow.config` -- :class:`ReproConfig` / :class:`ATPGConfig`
 * :mod:`repro.flow.serialize` -- JSON artifacts keyed to a circuit
   fingerprint
-* :mod:`repro.flow.session` -- :class:`Session`, :func:`run_suite`
+* :mod:`repro.flow.session` -- :class:`PipelineSession`,
+  :func:`run_suite`
 """
 
 from .config import (
@@ -24,6 +30,7 @@ from .config import (
     ATPGConfig,
     ConfigError,
     ReproConfig,
+    canonical_json,
 )
 from .serialize import (
     ArtifactError,
@@ -39,10 +46,12 @@ from .serialize import (
 )
 from .session import (
     CircuitResolveError,
+    PipelineSession,
     Session,
     StageRecord,
     StageTracker,
     SuiteReport,
+    canonicalize_volatile,
     resolve_circuit,
     run_suite,
 )
@@ -56,14 +65,15 @@ from .parallel_suite import (
 
 __all__ = [
     "ATPG_ENGINES", "ATPG_MODES", "SIM_BACKENDS", "ATPGConfig",
-    "ConfigError", "ReproConfig",
+    "ConfigError", "ReproConfig", "canonical_json",
     "ArtifactError", "StaleArtifactError",
     "atpg_stats_from_dict", "atpg_stats_to_dict",
     "circuit_fingerprint",
     "learn_result_from_dict", "learn_result_to_dict",
     "load_learn_result", "save_learn_result", "write_json_atomic",
-    "CircuitResolveError", "Session", "StageRecord", "StageTracker",
-    "SuiteReport", "resolve_circuit", "run_suite",
+    "CircuitResolveError", "PipelineSession", "Session", "StageRecord",
+    "StageTracker", "SuiteReport", "canonicalize_volatile",
+    "resolve_circuit", "run_suite",
     "QueueProgressAdapter", "SuiteError", "SuiteTask",
     "SuiteTaskResult", "run_suite_parallel",
 ]

@@ -12,6 +12,8 @@ so a typo in a config file fails loudly instead of being ignored.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
@@ -23,11 +25,29 @@ from ..sim.compiled import SIM_BACKENDS
 ATPG_MODES = ("none", "forbidden", "known")
 
 __all__ = ["ATPG_MODES", "ATPG_ENGINES", "SIM_BACKENDS", "ATPGConfig",
-           "ConfigError", "ReproConfig"]
+           "ConfigError", "ReproConfig", "canonical_json"]
 
 
 class ConfigError(ValueError):
     """Raised for invalid or unknown configuration values."""
+
+
+def canonical_json(payload) -> str:
+    """The one canonical JSON form used for hashing configurations.
+
+    Sorted keys, no whitespace, no NaN/Infinity.  Every digest in the
+    system (:meth:`ATPGConfig.config_digest`, the API request digests,
+    the content-addressed artifact store) hashes exactly this form, so
+    two configs that round-trip to the same dict always collide -- and
+    a formatting change can never silently invalidate every cache.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def _digest(prefix: str, payload) -> str:
+    return hashlib.sha256(
+        f"{prefix}:{canonical_json(payload)}".encode()).hexdigest()
 
 
 def _from_dict(cls, data: Dict[str, object]):
@@ -94,6 +114,19 @@ class ATPGConfig:
     def to_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def to_canonical_json(self) -> str:
+        """Canonical JSON: sorted keys, defaults materialized.
+
+        ``to_dict`` walks every dataclass field, so unset knobs appear
+        with their default values -- two configs differing only in how
+        they were spelled hash identically.
+        """
+        return canonical_json(self.to_dict())
+
+    def config_digest(self) -> str:
+        """Stable SHA-256 over :meth:`to_canonical_json`."""
+        return _digest("repro/atpg-config", self.to_dict())
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ATPGConfig":
         return _from_dict(cls, data).validate()
@@ -136,6 +169,22 @@ class ReproConfig:
             "retime": self.retime,
             "jobs": self.jobs,
         }
+
+    def to_canonical_json(self) -> str:
+        """Canonical JSON: sorted keys, every default materialized."""
+        return canonical_json(self.to_dict())
+
+    def config_digest(self) -> str:
+        """Stable SHA-256 identifying what this config *computes*.
+
+        ``jobs`` is normalized to 1 before hashing: it shards suite
+        execution but never changes any result (per-circuit sessions
+        always run with ``jobs=1``), so two runs differing only in
+        worker count must share every cache entry.
+        """
+        payload = self.to_dict()
+        payload["jobs"] = 1
+        return _digest("repro/config", payload)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ReproConfig":

@@ -61,8 +61,8 @@ from ..circuit.netlist import Circuit
 from ..sim.compiled import warm_cache
 from .config import ATPG_MODES, ReproConfig
 from .session import (
+    PipelineSession,
     ProgressHook,
-    Session,
     StageTracker,
     SuiteReport,
     error_record,
@@ -116,7 +116,8 @@ def run_task(task: SuiteTask,
     """
     tracker = StageTracker(progress)
     try:
-        session = Session(task.spec, config=task.config, progress=tracker)
+        session = PipelineSession(task.spec, config=task.config,
+                                  progress=tracker)
         if task.config.atpg.sim_backend == "compiled":
             # Compile kernels before the pipeline hot loops rather than
             # inside the first stage that needs them (a pool worker's

@@ -107,8 +107,18 @@ def circuit_fingerprint(circuit: Circuit) -> str:
 # ----------------------------------------------------------------------
 # LearnResult
 # ----------------------------------------------------------------------
-def learn_result_to_dict(result: LearnResult) -> Dict[str, object]:
-    """Serializable form of everything the learning engine extracted."""
+def learn_result_to_dict(result: LearnResult,
+                         digest: Optional[str] = None
+                         ) -> Dict[str, object]:
+    """Serializable form of everything the learning engine extracted.
+
+    ``digest`` optionally stamps the artifact with its content address
+    (circuit fingerprint + learning config, see
+    :func:`repro.api.store.learn_digest`).  Digest-stamped artifacts can
+    be validated against the *configuration* that produced them, not
+    just the netlist -- the fingerprint-only check cannot tell a
+    50-frame learning run from a 5-frame one.
+    """
     circuit = result.circuit
     name_of = lambda nid: circuit.nodes[nid].name  # noqa: E731
 
@@ -127,7 +137,7 @@ def learn_result_to_dict(result: LearnResult) -> Dict[str, object]:
         "node": name_of(nid), "cls": name_of(cls), "polarity": pol,
     } for nid, (cls, pol) in sorted(result.equivalences.items())]
     multi = result.multi_stats
-    return {
+    payload: Dict[str, object] = {
         "format": LEARN_FORMAT,
         "version": FORMAT_VERSION,
         "circuit": {
@@ -151,6 +161,9 @@ def learn_result_to_dict(result: LearnResult) -> Dict[str, object]:
                           for nid, value in multi.conflicts],
         },
     }
+    if digest is not None:
+        payload["digest"] = digest
+    return payload
 
 
 def _check_header(data: Dict[str, object], expected_format: str) -> None:
@@ -167,11 +180,17 @@ def _check_header(data: Dict[str, object], expected_format: str) -> None:
 
 
 def learn_result_from_dict(data: Dict[str, object],
-                           circuit: Circuit) -> LearnResult:
+                           circuit: Circuit,
+                           expect_digest: Optional[str] = None
+                           ) -> LearnResult:
     """Rebuild a :class:`LearnResult` against a live circuit.
 
     The circuit must structurally match the one the artifact was learned
-    on; a fingerprint mismatch raises :class:`StaleArtifactError`.
+    on; a fingerprint mismatch raises :class:`StaleArtifactError`.  When
+    ``expect_digest`` is given, a digest-stamped artifact must carry
+    exactly that content address (fingerprint *and* learning config) or
+    :class:`StaleArtifactError` is raised; unstamped artifacts fall back
+    to the fingerprint-only check for backward compatibility.
     """
     _check_header(data, LEARN_FORMAT)
     meta = data.get("circuit")
@@ -185,6 +204,14 @@ def learn_result_from_dict(data: Dict[str, object],
             f"(fingerprint {str(want)[:12]}...), which does not match "
             f"circuit {circuit.name!r} (fingerprint {have[:12]}...); "
             "re-run learning for this netlist")
+    stamped = data.get("digest")
+    if (expect_digest is not None and stamped is not None
+            and stamped != expect_digest):
+        raise StaleArtifactError(
+            f"artifact digest {str(stamped)[:12]}... does not match the "
+            f"requested configuration (digest {expect_digest[:12]}...); "
+            "it was learned with a different learning config -- re-run "
+            "learning or drop the artifact")
 
     try:
         config = LearnConfig.from_dict(data.get("config", {}))
@@ -236,19 +263,22 @@ def _rebuild_body(data: Dict[str, object], circuit: Circuit,
         phase_times=dict(data.get("phase_times", {})))
 
 
-def save_learn_result(result: LearnResult, path) -> None:
+def save_learn_result(result: LearnResult, path,
+                      digest: Optional[str] = None) -> None:
     """Write a learning artifact as JSON (atomically)."""
-    write_json_atomic(path, learn_result_to_dict(result))
+    write_json_atomic(path, learn_result_to_dict(result, digest=digest))
 
 
-def load_learn_result(path, circuit: Circuit) -> LearnResult:
+def load_learn_result(path, circuit: Circuit,
+                      expect_digest: Optional[str] = None) -> LearnResult:
     """Read a JSON learning artifact and bind it to ``circuit``."""
     with open(path) as handle:
         try:
             data = json.load(handle)
         except json.JSONDecodeError as exc:
             raise ArtifactError(f"{path}: not valid JSON ({exc})") from exc
-    return learn_result_from_dict(data, circuit)
+    return learn_result_from_dict(data, circuit,
+                                  expect_digest=expect_digest)
 
 
 # ----------------------------------------------------------------------

@@ -1,9 +1,9 @@
-"""The :class:`Session` facade -- the canonical way to drive the pipeline.
+"""The pipeline session -- one circuit, one config, cached stages.
 
 The paper's workflow is *learn once, reuse across many ATPG runs*.  A
-``Session`` makes that a first-class object: it binds one circuit spec to
-one :class:`~repro.flow.config.ReproConfig` and exposes the pipeline as
-named, individually cached stages::
+:class:`PipelineSession` makes that a first-class object: it binds one
+circuit spec to one :class:`~repro.flow.config.ReproConfig` and exposes
+the pipeline as named, individually cached stages::
 
     resolve -> learn -> untestable -> atpg[mode] -> fault_sim[mode]
 
@@ -13,6 +13,11 @@ saved to / loaded from a JSON artifact (:mod:`repro.flow.serialize`), so
 the expensive learning stage is skipped entirely when a fresh artifact
 exists -- this is what the CLI's ``learn --save`` / ``atpg --learned``
 pair rides on.
+
+:class:`PipelineSession` is the *internal* execution engine behind
+:func:`repro.api.execute`; the public :class:`Session` name is kept as a
+deprecation shim for pre-API callers (it behaves identically and emits
+a :class:`DeprecationWarning` on construction).
 
 ``progress`` hooks fire as ``progress(stage, event, payload)`` with
 ``event`` in ``{"start", "end"}``; ``payload`` is ``None`` at start and a
@@ -26,6 +31,7 @@ from __future__ import annotations
 import os
 import re
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -161,8 +167,15 @@ class StageRecord:
     summary: Dict[str, object] = field(default_factory=dict)
 
 
-class Session:
+class PipelineSession:
     """One circuit, one config, every pipeline stage cached."""
+
+    #: When true (set by :func:`repro.api.execute`), long ATPG stages
+    #: emit throttled ``(stage, "tick", {"done", "total"})`` progress
+    #: events between ``start`` and ``end``.  Off by default so legacy
+    #: ``Session`` progress hooks see the historical start/end-only
+    #: stream.
+    emit_ticks = False
 
     def __init__(self, spec: Union[str, Circuit],
                  config: Optional[ReproConfig] = None,
@@ -190,6 +203,15 @@ class Session:
         if self.progress is not None:
             self.progress(name, "end", dict(record.summary))
         return value
+
+    def run_stage(self, name: str, fn, summarize=lambda value: {}):
+        """Run an ad-hoc named stage: timing, record, progress events.
+
+        The extension point for work that belongs in this session's
+        report but is not one of the built-in pipeline stages (the API
+        layer's ``compare`` and ``analyze`` stages ride on this).
+        """
+        return self._stage(name, fn, summarize)
 
     # ------------------------------------------------------------------
     # resolve
@@ -232,6 +254,31 @@ class Session:
                 f"learned result is for {result.circuit.name!r}, not "
                 f"{self.circuit.name!r}")
         self._learned = result
+
+    def adopt_learned(self, result: LearnResult) -> LearnResult:
+        """Stage ``learn`` satisfied from a cached in-memory result.
+
+        Unlike :meth:`attach_learned` this records a ``learn`` stage
+        with the same summary shape a fresh :meth:`learn` would have
+        produced, so reports from cache-hit runs are canonically
+        byte-identical to cold runs (only wall-clock fields differ, and
+        those are volatile by contract).  The result must match this
+        session's circuit fingerprint.
+        """
+        circuit = self.circuit
+
+        def fetch() -> LearnResult:
+            if result.circuit is not circuit and (
+                    result.circuit.fingerprint()
+                    != circuit.fingerprint()):
+                raise CircuitResolveError(
+                    f"learned result is for {result.circuit.name!r}, "
+                    f"not {circuit.name!r}")
+            return result
+
+        self._learned = self._stage(
+            "learn", fetch, lambda r: dict(r.summary()))
+        return self._learned
 
     def load_learned(self, path) -> LearnResult:
         """Stage ``learn`` satisfied from a saved JSON artifact."""
@@ -292,9 +339,20 @@ class Session:
             circuit = self.circuit
             learned = None if mode == "none" else self.learn()
             config = replace(self.config.atpg, mode=mode)
+            tick = None
+            if self.emit_ticks and self.progress is not None:
+                stage_name, hook = f"atpg[{mode}]", self.progress
+
+                def tick(done: int, total: int) -> None:
+                    # Throttled: fault loops can be long, progress is UI.
+                    if done % 25 == 0 or done == total:
+                        hook(stage_name, "tick",
+                             {"done": done, "total": total})
+
             self._atpg[mode] = self._stage(
                 f"atpg[{mode}]",
-                lambda: run_atpg(circuit, learned=learned, config=config),
+                lambda: run_atpg(circuit, learned=learned, config=config,
+                                 progress=tick),
                 lambda s: dict(s.row()))
         return self._atpg[mode]
 
@@ -374,6 +432,32 @@ class Session:
         return out
 
 
+class Session(PipelineSession):
+    """Deprecated alias of the pipeline session.
+
+    ``Session`` predates the versioned :mod:`repro.api` boundary; new
+    code should build a typed request and call
+    :func:`repro.api.execute` (one entrypoint, stable envelopes, shared
+    caches).  This shim keeps every pre-API call site working unchanged
+    -- it *is* the engine the API executes on -- but flags itself so
+    callers migrate::
+
+        from repro.api import ATPGRequest, execute
+        response = execute(ATPGRequest(spec="s27"))
+
+    The shim will be removed one major version after the API stabilizes.
+    """
+
+    def __init__(self, spec: Union[str, Circuit],
+                 config: Optional[ReproConfig] = None,
+                 progress: Optional[ProgressHook] = None):
+        warnings.warn(
+            "repro.flow.Session is deprecated; build a repro.api "
+            "request and call repro.api.execute() instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(spec, config=config, progress=progress)
+
+
 # ----------------------------------------------------------------------
 # suites
 # ----------------------------------------------------------------------
@@ -386,7 +470,7 @@ VOLATILE_KEYS = frozenset(
      "tie_cpu_s", "fires_cpu_s"})
 
 
-def _canonicalize(value):
+def canonicalize_volatile(value):
     """Deep-copy ``value`` with every volatile timing field zeroed."""
     if isinstance(value, dict):
         out = {}
@@ -395,10 +479,10 @@ def _canonicalize(value):
                 out[key] = ({name: 0.0 for name in item}
                             if isinstance(item, dict) else 0.0)
             else:
-                out[key] = _canonicalize(item)
+                out[key] = canonicalize_volatile(item)
         return out
     if isinstance(value, list):
-        return [_canonicalize(item) for item in value]
+        return [canonicalize_volatile(item) for item in value]
     return value
 
 
@@ -441,7 +525,7 @@ class SuiteReport:
         runs, and this form zeroes them (keeping the keys, so the schema
         is unchanged).
         """
-        return _canonicalize(self.to_dict())
+        return canonicalize_volatile(self.to_dict())
 
     def save(self, path, canonical: bool = False) -> None:
         """Write the report as JSON, atomically (temp file + rename)."""

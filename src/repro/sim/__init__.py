@@ -5,6 +5,7 @@ from .compiled import (
     CompiledCircuit,
     CompiledFaultSimulator,
     clear_compile_cache,
+    compile_cache_stats,
     compile_circuit,
     make_fault_simulator,
     warm_cache,
@@ -37,7 +38,8 @@ from .values import (
 
 __all__ = [
     "SIM_BACKENDS", "CompiledCircuit", "CompiledFaultSimulator",
-    "clear_compile_cache", "compile_circuit", "make_fault_simulator",
+    "clear_compile_cache", "compile_cache_stats", "compile_circuit",
+    "make_fault_simulator",
     "warm_cache",
     "Assignment", "Conflict", "Coupling", "FrameSimulator",
     "InjectionResult", "simulate_sequence",

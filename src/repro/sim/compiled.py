@@ -38,6 +38,7 @@ cache (see :func:`warm_cache`).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -295,25 +296,55 @@ class CompiledCircuit:
 # ----------------------------------------------------------------------
 _CACHE: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
 _CACHE_CAP = 256
+#: Serializes cache access: the ``repro serve`` daemon compiles from
+#: concurrent request threads, and without the lock two threads could
+#: exec-compile the same circuit twice (wasted work) or interleave the
+#: OrderedDict LRU bookkeeping mid-update.
+_CACHE_LOCK = threading.Lock()
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
 
 
 def compile_circuit(circuit: Circuit) -> CompiledCircuit:
-    """Lower (or fetch) the compiled form, keyed on the fingerprint."""
+    """Lower (or fetch) the compiled form, keyed on the fingerprint.
+
+    Thread-safe: concurrent callers for the same circuit compile it
+    exactly once and share the kernels (they are stateless after
+    construction; per-run state lives in the simulator objects).
+    """
+    global _CACHE_HITS, _CACHE_MISSES
     key = circuit.fingerprint()
-    hit = _CACHE.get(key)
-    if hit is not None:
-        _CACHE.move_to_end(key)
-        return hit
-    compiled = CompiledCircuit(circuit)
-    _CACHE[key] = compiled
-    while len(_CACHE) > _CACHE_CAP:
-        _CACHE.popitem(last=False)
-    return compiled
+    with _CACHE_LOCK:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            _CACHE.move_to_end(key)
+            _CACHE_HITS += 1
+            return hit
+        # Compile inside the lock: correctness does not require it, but
+        # a duplicate exec-compile is pure waste and compilation is
+        # milliseconds.
+        compiled = CompiledCircuit(circuit)
+        _CACHE[key] = compiled
+        _CACHE_MISSES += 1
+        while len(_CACHE) > _CACHE_CAP:
+            _CACHE.popitem(last=False)
+        return compiled
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of this process's kernel cache."""
+    with _CACHE_LOCK:
+        return {"entries": len(_CACHE), "hits": _CACHE_HITS,
+                "misses": _CACHE_MISSES}
 
 
 def clear_compile_cache() -> None:
     """Drop every cached lowering (tests, memory pressure)."""
-    _CACHE.clear()
+    global _CACHE_HITS, _CACHE_MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
 
 
 def warm_cache(circuit: Circuit) -> CompiledCircuit:

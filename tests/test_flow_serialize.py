@@ -184,3 +184,28 @@ def test_write_json_atomic_honors_umask(tmp_path):
         assert (path.stat().st_mode & 0o777) == 0o644
     finally:
         os.umask(old_umask)
+
+
+def test_digest_stamped_artifact_round_trip(tmp_path):
+    from repro.flow import load_learn_result, save_learn_result
+
+    circuit = figure1()
+    result = learn(circuit)
+    path = tmp_path / "stamped.json"
+    save_learn_result(result, path, digest="d" * 64)
+    assert json.loads(path.read_text())["digest"] == "d" * 64
+
+    # Matching (or unchecked) digests load fine.
+    load_learn_result(path, circuit)
+    load_learn_result(path, circuit, expect_digest="d" * 64)
+
+    # A digest mismatch means a different learning config produced the
+    # artifact: stale, loudly.
+    with pytest.raises(StaleArtifactError, match="different learning"):
+        load_learn_result(path, circuit, expect_digest="e" * 64)
+
+    # Unstamped artifacts keep working under expect_digest (the
+    # pre-digest format falls back to the fingerprint-only check).
+    bare = tmp_path / "bare.json"
+    save_learn_result(result, bare)
+    load_learn_result(bare, circuit, expect_digest="e" * 64)
