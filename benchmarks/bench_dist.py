@@ -1,0 +1,174 @@
+"""Serial-vs-distributed suite wall-clock benchmark.
+
+Runs the same spec list twice: once as a one-shot serial ``suite``
+request, once through a real coordinator with N ``repro worker``
+subprocesses draining fault shards over HTTP.  Checks the two
+canonical suite envelopes are **byte-identical** (the dist tier's
+headline contract) and writes the wall-clock comparison to
+``BENCH_dist.json`` (checked in at the repo root so the scaling
+trajectory is tracked over PRs).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py            # full
+    PYTHONPATH=src python benchmarks/bench_dist.py --tiny     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_dist.py --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import SuiteRequest, execute
+from repro.core import LearnConfig
+from repro.dist.coordinator import make_coordinator
+from repro.flow import ATPGConfig, ReproConfig, write_json_atomic
+from repro.sim import clear_compile_cache
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_dist.json")
+
+#: Fewer, heavier circuits than the suite bench: the dist tier shards
+#: *within* a circuit, so its win must show even when the circuit count
+#: is below the worker count.
+FULL_SPECS = ["like:s641@0.5", "like:s713@0.5",
+              "like:s953@0.5", "like:s967@0.5"]
+
+TINY_SPECS = ["figure1", "s27"]
+
+MODES = ("forbidden",)
+
+
+def build_config(tiny: bool) -> ReproConfig:
+    if tiny:
+        return ReproConfig(
+            learn=LearnConfig(max_frames=5),
+            atpg=ATPGConfig(mode="forbidden", backtrack_limit=5,
+                            max_frames=3, max_faults=20))
+    return ReproConfig(
+        learn=LearnConfig(max_frames=20),
+        atpg=ATPGConfig(mode="forbidden", backtrack_limit=10,
+                        max_frames=5, max_faults=200))
+
+
+def timed_serial(specs, config):
+    clear_compile_cache()
+    t0 = time.perf_counter()
+    response = execute(SuiteRequest(specs=tuple(specs), modes=MODES,
+                                    config=config, canonical=True))
+    return time.perf_counter() - t0, response
+
+
+def timed_distributed(specs, config, workers: int, n_shards: int):
+    """Coordinator in-process, workers as real subprocesses."""
+    clear_compile_cache()
+    server = make_coordinator(specs, config=config, modes=MODES,
+                              n_shards=n_shards)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    t0 = time.perf_counter()
+    thread.start()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         env.get("PYTHONPATH", "")])
+    procs = [subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--coordinator", server.url],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        for _ in range(workers)]
+    try:
+        while not server.job.done():
+            time.sleep(0.05)
+        response = server.job.merge(server.store, canonical=True)
+        elapsed = time.perf_counter() - t0
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return elapsed, response
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="small circuits / tiny ATPG budget "
+                             "(CI smoke)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker subprocess count")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="fault shards per (circuit, mode)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    specs = TINY_SPECS if args.tiny else FULL_SPECS
+    config = build_config(args.tiny)
+    n_shards = 2 if args.tiny else args.shards
+
+    serial_s, serial = timed_serial(specs, config)
+    dist_s, dist = timed_distributed(specs, config,
+                                     workers=args.workers,
+                                     n_shards=n_shards)
+
+    identical = serial.to_json() == dist.to_json()
+    speedup = round(serial_s / dist_s, 2) if dist_s else 0.0
+    cpu_count = os.cpu_count() or 1
+    gate_active = not args.tiny and cpu_count > 1
+
+    payload = {
+        "format": "repro/bench-dist",
+        "version": 1,
+        "tiny": args.tiny,
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "workers": args.workers,
+        "n_shards": n_shards,
+        "circuits": len(specs),
+        "suite_errors": len(serial.result.get("errors", [])),
+        "specs": specs,
+        "serial_s": round(serial_s, 3),
+        "dist_s": round(dist_s, 3),
+        "speedup": speedup,
+        "identical": identical,
+        "speedup_gate": ("enforced" if gate_active else "waived"),
+    }
+    if not gate_active:
+        payload["note"] = (
+            "tiny workload or single-core host: worker subprocesses "
+            "cannot beat serial wall-clock here; the >= 1.5x gate "
+            "applies on multicore machines (CI enforces it)")
+    write_json_atomic(args.out, payload)
+
+    print(f"{len(specs)} circuits, {args.workers} workers, "
+          f"{n_shards} shards: serial {serial_s:.2f}s, "
+          f"dist {dist_s:.2f}s, speedup {speedup:.2f}x, "
+          f"identical={identical}")
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    if not identical:
+        print("FAIL: distributed envelope differs from serial",
+              file=sys.stderr)
+        return 1
+    if gate_active and speedup < 1.5:
+        print("FAIL: distributed run not >= 1.5x over serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,7 @@ One stable surface for every client.  Build a typed request, hand it to
     from repro.api import ATPGRequest, execute
 
     response = execute(ATPGRequest(spec="s27", modes=("known",)))
-    assert response.ok and response.envelope()["schema_version"] == 1
+    assert response.ok and response.envelope()["schema_version"] == 2
     print(response.result["atpg"]["known"])
 
 The CLI is a thin argv adapter over this module; ``repro serve``
@@ -62,6 +62,7 @@ from .requests import (
     LearnRequest,
     ListRequest,
     Request,
+    ShardRequest,
     StatsRequest,
     SuiteRequest,
     UntestableRequest,
@@ -74,8 +75,8 @@ __all__ = [
     "SCHEMA_VERSION",
     # requests
     "Request", "LearnRequest", "UntestableRequest", "ATPGRequest",
-    "FaultSimRequest", "SuiteRequest", "CompareRequest", "StatsRequest",
-    "AnalyzeRequest", "ListRequest", "REQUEST_KINDS",
+    "FaultSimRequest", "SuiteRequest", "ShardRequest", "CompareRequest",
+    "StatsRequest", "AnalyzeRequest", "ListRequest", "REQUEST_KINDS",
     "request_from_dict",
     # execution
     "Response", "execute", "Plan", "TaskNode", "plan_request",

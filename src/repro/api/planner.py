@@ -31,6 +31,7 @@ from .requests import (
     FaultSimRequest,
     LearnRequest,
     Request,
+    ShardRequest,
     SuiteRequest,
     UntestableRequest,
 )
@@ -150,6 +151,20 @@ def plan_request(request: Request,
         plan.nodes.append(TaskNode(
             task_id="compare", stage="compare", depends_on=("learn",),
             detail={"backtrack_limits": list(request.backtrack_limits)}))
+    elif isinstance(request, ShardRequest):
+        plan.nodes = [resolve]
+        after = ("resolve",)
+        if request.mode != "none":
+            plan.nodes += _learn_nodes(request, circuit, store,
+                                       ("resolve",))
+            after = ("learn",)
+        node_id = (f"shard[{request.mode}:"
+                   f"{request.shard_index}/{request.n_shards}]")
+        plan.nodes.append(TaskNode(
+            task_id=node_id, stage=node_id, depends_on=after,
+            detail={"mode": request.mode,
+                    "shard_index": request.shard_index,
+                    "n_shards": request.n_shards}))
     elif isinstance(request, SuiteRequest):
         jobs = request.config.jobs
         plan.jobs = jobs

@@ -16,6 +16,7 @@ Request kinds
 ``atpg``        ATPG over one or more implication modes
 ``faultsim``    grade generated tests against the full fault list
 ``suite``       the whole pipeline over many circuits (sharded pool)
+``shard``       speculative ATPG over one fault-list shard (dist tier)
 ``compare``     the paper's Table-5 protocol over backtrack limits
 ``stats``       structural statistics
 ``analyze``     density-of-encoding state-space analysis
@@ -44,14 +45,15 @@ from .errors import RequestError
 
 __all__ = [
     "SCHEMA_VERSION", "Request", "LearnRequest", "UntestableRequest",
-    "ATPGRequest", "FaultSimRequest", "SuiteRequest", "CompareRequest",
-    "StatsRequest", "AnalyzeRequest", "ListRequest", "REQUEST_KINDS",
-    "request_from_dict",
+    "ATPGRequest", "FaultSimRequest", "SuiteRequest", "ShardRequest",
+    "CompareRequest", "StatsRequest", "AnalyzeRequest", "ListRequest",
+    "REQUEST_KINDS", "request_from_dict",
 ]
 
 #: Version of the request *and* response envelope schema.  Bumped on
 #: any incompatible change; responses echo it so clients can gate.
-SCHEMA_VERSION = 1
+#: Version 2 added the ``shard`` kind (distributed fault-list tier).
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -280,6 +282,49 @@ class SuiteRequest(Request):
 
 
 @dataclass
+class ShardRequest(Request):
+    """Speculative ATPG over one fault-list shard of one circuit.
+
+    The distributed tier's unit of ATPG work: the worker rebuilds the
+    canonical prepared fault list from (spec, config), runs PODEM for
+    the shard's slice (indices ``i`` with ``i % n_shards ==
+    shard_index``) and returns raw per-fault outcomes for the
+    coordinator's deterministic replay merge
+    (:mod:`repro.dist.shards`).  ``mode`` overrides ``config.atpg.mode``
+    so one config object can fan out into per-mode shard units.
+    """
+
+    KIND: ClassVar[str] = "shard"
+
+    spec: str = ""
+    config: ReproConfig = field(default_factory=ReproConfig)
+    #: Implication mode for this shard (one of ATPG_MODES).
+    mode: str = "forbidden"
+    shard_index: int = 0
+    n_shards: int = 1
+    #: Learning artifact digest the worker must use for non-'none'
+    #: modes (fetched from its store, normally via the coordinator's
+    #: artifact tier).  None is only legal for mode='none'.
+    learned_digest: Optional[str] = None
+    canonical: bool = False
+
+    def validate(self) -> "ShardRequest":
+        super().validate()
+        _check_modes((self.mode,))
+        if self.n_shards < 1:
+            raise ConfigError(
+                f"n_shards must be >= 1, got {self.n_shards}")
+        if not 0 <= self.shard_index < self.n_shards:
+            raise ConfigError(
+                f"shard_index must be in [0, {self.n_shards}), "
+                f"got {self.shard_index}")
+        if self.mode != "none" and self.learned_digest is None:
+            raise ConfigError(
+                f"mode {self.mode!r} requires learned_digest")
+        return self
+
+
+@dataclass
 class CompareRequest(Request):
     """The paper's Table-5 protocol: every mode at every limit."""
 
@@ -350,8 +395,9 @@ def _check_modes(modes: Tuple[str, ...]) -> None:
 REQUEST_KINDS: Dict[str, Type[Request]] = {
     cls.KIND: cls
     for cls in (LearnRequest, UntestableRequest, ATPGRequest,
-                FaultSimRequest, SuiteRequest, CompareRequest,
-                StatsRequest, AnalyzeRequest, ListRequest)
+                FaultSimRequest, SuiteRequest, ShardRequest,
+                CompareRequest, StatsRequest, AnalyzeRequest,
+                ListRequest)
 }
 
 

@@ -80,6 +80,49 @@ class ATPGStats:
         }
 
 
+def prepare_fault_list(circuit: Circuit,
+                       faults: Optional[Sequence[Fault]] = None,
+                       max_faults: Optional[int] = None,
+                       fill_seed: int = 12345):
+    """The one canonical fault-list preparation: collapse + sampling.
+
+    Returns ``(faults, classes)`` exactly as :func:`run_atpg` consumes
+    them.  This is a pure function of its arguments (sampling uses its
+    own ``Random(fill_seed)``), so distributed shard workers, the merge
+    replay and the serial path all reconstruct the identical list --
+    fault *indices* into it are a stable cross-process vocabulary.
+    ``classes`` is None when an explicit ``faults`` sequence was given
+    (no collapsing happened, so there are no equivalence classes).
+    """
+    classes = None
+    if faults is None:
+        faults, classes = collapse_with_classes(circuit)
+    faults = list(faults)
+    if max_faults is not None and len(faults) > max_faults:
+        rng = random.Random(fill_seed)
+        faults = rng.sample(faults, max_faults)
+        faults.sort(key=lambda f: (f.node, f.pin is not None, f.value))
+    return faults, classes
+
+
+def tie_untestable_indices(circuit: Circuit,
+                           learned: Optional[LearnResult],
+                           faults: Sequence[Fault],
+                           classes=None) -> Set[int]:
+    """Indices of faults pre-marked untestable by tie gates.
+
+    Shared by the serial loop and the distributed shard workers so both
+    skip (and count) exactly the same faults.  Empty without ``learned``
+    -- the paper's true no-learning baseline never sees ties.
+    """
+    if learned is None:
+        return set()
+    index_of = {fault: i for i, fault in enumerate(faults)}
+    return {index_of[fault]
+            for fault in untestable_faults_from_ties(
+                circuit, learned.ties, faults, classes)}
+
+
 def run_atpg(circuit: Circuit, *,
              learned: Optional[LearnResult] = None,
              config=None,
@@ -92,7 +135,8 @@ def run_atpg(circuit: Circuit, *,
              keep_sequences: bool = True,
              sim_backend: str = "compiled",
              atpg_engine: str = "incremental",
-             progress: Optional[Callable[[int, int], None]] = None
+             progress: Optional[Callable[[int, int], None]] = None,
+             generate: Optional[Callable[[Fault], TestResult]] = None
              ) -> ATPGStats:
     """Generate tests for every fault; returns aggregate statistics.
 
@@ -118,6 +162,13 @@ def run_atpg(circuit: Circuit, *,
     loop targets, so long runs can stream liveness without changing any
     result -- the API layer turns it into
     :class:`~repro.api.events.ProgressEvent` ticks.
+
+    ``generate`` is the distributed layer's injection point: when given
+    it replaces ``make_atpg(...).generate`` (no engine is built here),
+    so :mod:`repro.dist.shards` can replay precomputed per-fault
+    results through this exact loop -- dropping, fill RNG, collateral
+    accounting and all -- and merge shard outcomes into statistics
+    byte-identical to a serial run *by construction*, not by imitation.
     """
     if config is not None:
         mode = config.mode
@@ -129,32 +180,27 @@ def run_atpg(circuit: Circuit, *,
         sim_backend = config.sim_backend
         atpg_engine = getattr(config, "atpg_engine", atpg_engine)
     start = time.perf_counter()
-    classes = None
-    if faults is None:
-        faults, classes = collapse_with_classes(circuit)
-    faults = list(faults)
-    if max_faults is not None and len(faults) > max_faults:
-        rng = random.Random(fill_seed)
-        faults = rng.sample(faults, max_faults)
-        faults.sort(key=lambda f: (f.node, f.pin is not None, f.value))
+    faults, classes = prepare_fault_list(circuit, faults=faults,
+                                         max_faults=max_faults,
+                                         fill_seed=fill_seed)
     stats = ATPGStats(circuit=circuit.name, mode=mode,
                       backtrack_limit=backtrack_limit,
                       total_faults=len(faults))
-    relations = learned.relations if learned is not None else None
-    atpg = make_atpg(circuit, engine=atpg_engine,
-                     relations=relations if mode != "none" else None,
-                     mode=mode, backtrack_limit=backtrack_limit,
-                     max_frames=max_frames)
+    if generate is None:
+        relations = learned.relations if learned is not None else None
+        atpg = make_atpg(circuit, engine=atpg_engine,
+                         relations=relations if mode != "none" else None,
+                         mode=mode, backtrack_limit=backtrack_limit,
+                         max_frames=max_frames)
+        generate = atpg.generate
     simulator = make_fault_simulator(circuit, backend=sim_backend)
     rng = random.Random(fill_seed)
     input_names = [circuit.nodes[i].name for i in circuit.inputs]
 
     status: Dict[int, str] = {}
-    if learned is not None:
-        index_of = {fault: i for i, fault in enumerate(faults)}
-        for fault in untestable_faults_from_ties(circuit, learned.ties,
-                                                 faults, classes):
-            status[index_of[fault]] = "untestable"
+    for index in tie_untestable_indices(circuit, learned, faults,
+                                        classes):
+        status[index] = "untestable"
     remaining: List[int] = [i for i in range(len(faults))
                             if i not in status]
     targeted = 0
@@ -164,7 +210,7 @@ def run_atpg(circuit: Circuit, *,
             if progress is not None:
                 progress(targeted, len(remaining))
             continue
-        result = atpg.generate(faults[index])
+        result = generate(faults[index])
         stats.decisions += result.decisions
         stats.backtracks += result.backtracks
         if result.status == "detected":

@@ -13,6 +13,8 @@ analyze CIRCUIT      density of encoding (small circuits)
 stats CIRCUIT        structural statistics
 list                 list built-in circuit names
 serve                run the warm JSON-over-HTTP daemon
+coordinator C...     serve one suite as fault-sharded units to workers
+worker               lease and execute units from a coordinator
 
 Every command takes ``--json`` for machine-readable output on stdout.
 CIRCUIT is a built-in name (``figure1``, ``s27``, ...), a profile name
@@ -34,6 +36,7 @@ import sys
 from typing import List, Optional
 
 from .api import (
+    ArtifactStore,
     ATPGRequest,
     AnalyzeRequest,
     CompareRequest,
@@ -413,6 +416,53 @@ def build_parser() -> argparse.ArgumentParser:
                         "paths (save/out/learned); off by default -- "
                         "network clients would get file access as the "
                         "daemon user")
+
+    p = sub.add_parser("coordinator",
+                       help="serve one suite as fault-sharded units; "
+                            "prints the merged suite report when the "
+                            "worker fleet drains (byte-identical to "
+                            "repro suite --canonical)")
+    p.add_argument("circuits", nargs="+",
+                   help="circuit specs (builtin, like:<profile>, .bench)")
+    p.add_argument("--retime", type=int, default=0, metavar="MOVES")
+    add_json(p)
+    add_atpg_knobs(p)
+    p.add_argument("--shards", type=int, default=4, metavar="N",
+                   help="fault-list shards per (circuit, mode) unit")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8452)
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="serve learn artifacts content-addressed from "
+                        "DIR (default: in-memory only)")
+    p.add_argument("--journal", metavar="DIR", default=None,
+                   help="journal completed units under DIR so a "
+                        "restarted coordinator resumes from partial "
+                        "results")
+    p.add_argument("--lease-timeout", type=float, default=60.0,
+                   metavar="S",
+                   help="seconds before an unheartbeated lease expires "
+                        "and its unit is re-issued")
+    p.add_argument("--out", metavar="FILE",
+                   help="also write the merged suite envelope to FILE "
+                        "(atomic write)")
+    p.add_argument("--canonical", action="store_true",
+                   help="zero volatile wall-clock fields so the merged "
+                        "report is byte-identical to a serial run")
+
+    p = sub.add_parser("worker",
+                       help="lease and execute units from a "
+                            "coordinator until the job drains "
+                            "(SIGTERM finishes the current unit, then "
+                            "exits)")
+    p.add_argument("--coordinator", required=True, metavar="URL",
+                   help="coordinator base URL, e.g. "
+                        "http://127.0.0.1:8452")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes to run (0 = one per CPU "
+                        "core; default 1 = in this process)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="local artifact cache directory (misses fall "
+                        "through to the coordinator's shared cache)")
     return parser
 
 
@@ -433,7 +483,11 @@ def _dispatch(args) -> int:
     events = None
     if args.command == "suite" and not args.json:
         events = _suite_progress_sink
-    response: Response = execute(request, events=events)
+    # `stats` always reports the artifact-store counters, so its
+    # payload has the same shape one-shot and under the daemon (where
+    # the long-lived store makes them interesting).
+    store = ArtifactStore() if args.command == "stats" else None
+    response: Response = execute(request, events=events, store=store)
     if args.json:
         sys.stdout.write(response.to_json())
         return response.exit_code
@@ -441,6 +495,31 @@ def _dispatch(args) -> int:
         raise SystemExit(
             f"repro: error: {(response.error or {}).get('message')}")
     render(args, response.result)
+    return response.exit_code
+
+
+def _run_coordinator_command(args) -> int:
+    from .dist import run_coordinator
+
+    modes = tuple(ATPG_MODES) if args.mode == "all" else (args.mode,)
+    config = _config(args,
+                     learn_config=LearnConfig(max_frames=args.max_frames),
+                     atpg_config=_atpg_config(args))
+    announce = None if args.json else (
+        lambda message: print(message, file=sys.stderr))
+    try:
+        response = run_coordinator(
+            list(args.circuits), config=config, modes=modes,
+            n_shards=args.shards, host=args.host, port=args.port,
+            store_dir=args.store, journal_dir=args.journal,
+            lease_timeout_s=args.lease_timeout,
+            canonical=args.canonical, out=args.out, announce=announce)
+    except OSError as exc:  # e.g. port already in use
+        raise SystemExit(f"repro: error: {exc}") from exc
+    if args.json:
+        sys.stdout.write(response.to_json())
+    else:
+        _render_suite(args, response.result)
     return response.exit_code
 
 
@@ -455,6 +534,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError as exc:  # e.g. port already in use
             raise SystemExit(f"repro: error: {exc}") from exc
         return 0
+    if args.command == "coordinator":
+        return _run_coordinator_command(args)
+    if args.command == "worker":
+        from .dist import run_worker
+
+        return run_worker(args.coordinator, jobs=args.jobs,
+                          store_dir=args.store,
+                          announce=lambda message:
+                              print(message, file=sys.stderr))
     # Request faults come back as error envelopes from execute();
     # BrokenPipeError (e.g. `repro ... | head`) propagates as-is.
     return _dispatch(args)

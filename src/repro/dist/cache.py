@@ -1,0 +1,111 @@
+"""Fleet-shared artifact cache: a network tier behind ArtifactStore.
+
+A worker's :class:`RemoteStore` is an ordinary
+:class:`~repro.api.store.ArtifactStore` (memory + optional local disk)
+with one more tier: on a local miss it fetches the artifact's raw JSON
+from the coordinator (``GET /v1/artifacts/<digest>``), and every local
+put is mirrored up (``PUT``), so learning for a digest happens once
+*fleet-wide* -- the first worker to need it computes and uploads, every
+later worker (and the coordinator's merge) downloads.
+
+The network tier is strictly best-effort: transport failures count in
+``remote_errors`` and degrade to local behavior (recompute locally,
+skip the upload).  Correctness never depends on the cache -- digests
+embed circuit fingerprint + config, and downloads re-validate against
+the live circuit exactly like a local disk hit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..circuit.netlist import Circuit
+from ..core.engine import LearnResult
+from ..flow.serialize import (
+    ArtifactError,
+    learn_result_from_dict,
+    learn_result_to_dict,
+)
+from ..api.store import ArtifactStore
+from .protocol import artifact_path, http_bytes
+
+__all__ = ["RemoteStore"]
+
+
+class RemoteStore(ArtifactStore):
+    """ArtifactStore with a coordinator-backed network tier."""
+
+    def __init__(self, base_url: str, root: Optional[str] = None,
+                 keep_in_memory: bool = True, timeout: float = 30.0):
+        super().__init__(root=root, keep_in_memory=keep_in_memory)
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.remote_hits = 0
+        self.remote_misses = 0
+        self.remote_puts = 0
+        self.remote_errors = 0
+
+    # ------------------------------------------------------------------
+    def get_learn(self, digest: str,
+                  circuit: Circuit) -> Optional[LearnResult]:
+        hit = super().get_learn(digest, circuit)
+        if hit is not None:
+            return hit
+        try:
+            status, payload = http_bytes(
+                "GET", self.base_url, artifact_path(digest),
+                timeout=self.timeout)
+        except OSError:
+            with self._lock:
+                self.remote_errors += 1
+            return None
+        if status != 200:
+            with self._lock:
+                self.remote_misses += 1
+            return None
+        try:
+            data = json.loads(payload.decode())
+            result = learn_result_from_dict(data, circuit,
+                                            expect_digest=digest)
+        except (UnicodeDecodeError, ValueError, ArtifactError):
+            # A corrupt download is a miss, same contract as a corrupt
+            # disk file: recompute, never fail the request.
+            with self._lock:
+                self.remote_errors += 1
+            return None
+        with self._lock:
+            self.remote_hits += 1
+        # Warm the local tiers without re-uploading what we just
+        # downloaded (hence super(), not self).
+        super().put_learn(digest, result)
+        return result
+
+    def put_learn(self, digest: str, result: LearnResult) -> None:
+        super().put_learn(digest, result)
+        payload = (json.dumps(
+            learn_result_to_dict(result, digest=digest),
+            indent=1) + "\n").encode()
+        try:
+            status, _ = http_bytes("PUT", self.base_url,
+                                   artifact_path(digest), body=payload,
+                                   timeout=self.timeout)
+        except OSError:
+            status = None
+        with self._lock:
+            if status == 200:
+                self.remote_puts += 1
+            else:
+                self.remote_errors += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        with self._lock:
+            out.update({
+                "remote_hits": self.remote_hits,
+                "remote_misses": self.remote_misses,
+                "remote_puts": self.remote_puts,
+                "remote_errors": self.remote_errors,
+            })
+        return out

@@ -31,6 +31,7 @@ from .config import (
     ConfigError,
     ReproConfig,
     canonical_json,
+    normalize_jobs,
 )
 from .serialize import (
     ArtifactError,
@@ -65,7 +66,7 @@ from .parallel_suite import (
 
 __all__ = [
     "ATPG_ENGINES", "ATPG_MODES", "SIM_BACKENDS", "ATPGConfig",
-    "ConfigError", "ReproConfig", "canonical_json",
+    "ConfigError", "ReproConfig", "canonical_json", "normalize_jobs",
     "ArtifactError", "StaleArtifactError",
     "atpg_stats_from_dict", "atpg_stats_to_dict",
     "circuit_fingerprint",

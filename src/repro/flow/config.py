@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
@@ -25,11 +26,24 @@ from ..sim.compiled import SIM_BACKENDS
 ATPG_MODES = ("none", "forbidden", "known")
 
 __all__ = ["ATPG_MODES", "ATPG_ENGINES", "SIM_BACKENDS", "ATPGConfig",
-           "ConfigError", "ReproConfig", "canonical_json"]
+           "ConfigError", "ReproConfig", "canonical_json",
+           "normalize_jobs"]
 
 
 class ConfigError(ValueError):
     """Raised for invalid or unknown configuration values."""
+
+
+def normalize_jobs(jobs: int) -> int:
+    """Resolve the ``jobs`` knob to a concrete worker count.
+
+    ``0`` means "one worker per CPU core" everywhere a worker count
+    appears (``run_suite``, the parallel pool, ``repro worker --jobs``);
+    this helper is the single copy of that rule, clamped to at least 1
+    on platforms where ``os.cpu_count()`` is unknowable.  Validation
+    (non-negative int) stays in :meth:`ReproConfig.validate`.
+    """
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
 
 
 def canonical_json(payload) -> str:

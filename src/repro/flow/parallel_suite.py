@@ -50,7 +50,6 @@ which never pickles, would run it).
 from __future__ import annotations
 
 import multiprocessing
-import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -59,7 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..circuit.netlist import Circuit
 from ..sim.compiled import warm_cache
-from .config import ATPG_MODES, ReproConfig
+from .config import ATPG_MODES, ReproConfig, normalize_jobs
 from .session import (
     PipelineSession,
     ProgressHook,
@@ -242,11 +241,10 @@ def run_suite_parallel(specs: Sequence[Union[str, Circuit]],
     :class:`SuiteError`.
     """
     config = (config or ReproConfig()).validate()
-    # ReproConfig.validate is the single source of the jobs rule.
-    jobs = replace(config, jobs=jobs).validate().jobs
+    # ReproConfig.validate is the single source of the jobs rule;
+    # normalize_jobs the single copy of the 0 -> all-cores expansion.
+    jobs = normalize_jobs(replace(config, jobs=jobs).validate().jobs)
     config = replace(config, jobs=1)
-    if jobs == 0:
-        jobs = os.cpu_count() or 1
     modes = tuple(modes)
     tasks = [SuiteTask(index=index, spec=spec, config=config, modes=modes)
              for index, spec in enumerate(specs)]

@@ -28,7 +28,6 @@ whole run.
 
 from __future__ import annotations
 
-import os
 import re
 import time
 import warnings
@@ -48,7 +47,7 @@ from ..circuit import (
 from ..circuit.netlist import Circuit, CircuitError
 from ..core.engine import LearnResult, learn
 from ..sim.compiled import make_fault_simulator
-from .config import ATPG_MODES, ConfigError, ReproConfig
+from .config import ATPG_MODES, ConfigError, ReproConfig, normalize_jobs
 from .serialize import (
     load_learn_result,
     save_learn_result,
@@ -361,6 +360,28 @@ class PipelineSession:
         """Run (or fetch) the ATPG stage for several modes in order."""
         return [self.atpg(mode) for mode in modes]
 
+    def adopt_atpg(self, mode: str, stats: ATPGStats) -> ATPGStats:
+        """Stage ``atpg[mode]`` satisfied from an already-merged result.
+
+        The distributed merge path (:mod:`repro.dist`) computes
+        :class:`~repro.atpg.driver.ATPGStats` outside this session --
+        sharded over workers, replayed deterministically -- and adopts
+        it here so the session report has the same stage records, in
+        the same order, with the same summaries a locally-computed run
+        would have produced (wall-clock fields aside, which canonical
+        reports zero).  Mirrors :meth:`adopt_learned` for learn.
+        """
+        if mode not in ATPG_MODES:
+            raise ConfigError(
+                f"mode must be one of {ATPG_MODES}, got {mode!r}")
+        if stats.circuit != self.circuit.name:
+            raise CircuitResolveError(
+                f"ATPG stats are for {stats.circuit!r}, not "
+                f"{self.circuit.name!r}")
+        self._atpg[mode] = self._stage(
+            f"atpg[{mode}]", lambda: stats, lambda s: dict(s.row()))
+        return self._atpg[mode]
+
     # ------------------------------------------------------------------
     # fault simulation
     # ------------------------------------------------------------------
@@ -566,9 +587,7 @@ def run_suite(specs: Sequence[Union[str, Circuit]],
         # ReproConfig.validate is the single source of the jobs rule.
         base = replace(base, jobs=jobs)
     base = base.validate()
-    jobs = base.jobs
-    if jobs == 0:
-        jobs = os.cpu_count() or 1
+    jobs = normalize_jobs(base.jobs)
     # Sessions always carry jobs=1: parallelism is a property of suite
     # execution, not of any one circuit's pipeline, and reports must not
     # depend on the worker count.

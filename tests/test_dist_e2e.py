@@ -1,0 +1,208 @@
+"""End-to-end distributed runs: real coordinator, real worker loops.
+
+The headline contract (the tentpole's acceptance gate): a fleet of N
+workers draining a coordinator produces a canonical suite envelope
+**byte-identical** to a serial one-shot ``suite`` request -- for any N,
+and even when a worker dies mid-shard and its lease is re-issued.
+"""
+
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api import (
+    ArtifactStore,
+    StatsRequest,
+    SuiteRequest,
+    execute,
+    learn_digest,
+)
+from repro.core import LearnConfig
+from repro.dist import RemoteStore, WorkerLoop
+from repro.dist.coordinator import make_coordinator
+from repro.dist.protocol import LEASE_PATH, http_json
+from repro.flow import ATPGConfig, ReproConfig
+from repro.flow.config import ATPG_MODES
+from repro.flow.session import resolve_circuit
+
+SPECS = ("figure1", "s27")
+
+
+def tiny_config() -> ReproConfig:
+    return ReproConfig(learn=LearnConfig(max_frames=5),
+                       atpg=ATPGConfig(backtrack_limit=5, max_frames=3))
+
+
+def serial_suite_json(specs=SPECS, config=None,
+                      modes=ATPG_MODES) -> str:
+    response = execute(SuiteRequest(specs=tuple(specs),
+                                    modes=tuple(modes),
+                                    config=config or tiny_config(),
+                                    canonical=True))
+    assert response.ok
+    return response.to_json()
+
+
+@contextmanager
+def running_coordinator(**kwargs):
+    kwargs.setdefault("specs", SPECS)
+    kwargs.setdefault("config", tiny_config())
+    kwargs.setdefault("n_shards", 3)
+    server = make_coordinator(**kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def run_fleet(server, n_workers, **kwargs):
+    """Drain the coordinator with N in-thread worker loops."""
+    kwargs.setdefault("poll_s", 0.02)
+    loops = [WorkerLoop(server.url, worker_id=f"w{i}", **kwargs)
+             for i in range(n_workers)]
+    threads = [threading.Thread(target=loop.run, daemon=True)
+               for loop in loops]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    assert not any(thread.is_alive() for thread in threads), \
+        "worker loop wedged"
+    return loops
+
+
+# ----------------------------------------------------------------------
+# determinism: N workers == serial, byte for byte
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_workers", [2, 4])
+def test_fleet_matches_serial_suite_bytes(n_workers):
+    with running_coordinator() as server:
+        loops = run_fleet(server, n_workers)
+        assert server.job.done()
+        merged = server.job.merge(server.store, canonical=True)
+    assert merged.ok
+    assert merged.to_json() == serial_suite_json()
+    # The fleet actually shared the load: every unit completed exactly
+    # once in the job's books, regardless of who raced whom.
+    assert sum(loop.units_completed for loop in loops) >= len(
+        server.job.unit_order)
+
+
+def test_merge_is_idempotent_and_stable():
+    with running_coordinator(specs=("s27",)) as server:
+        run_fleet(server, 2)
+        first = server.job.merge(server.store, canonical=True).to_json()
+        second = server.job.merge(server.store,
+                                  canonical=True).to_json()
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# fault tolerance: dead worker, lease re-issue, still byte-identical
+# ----------------------------------------------------------------------
+def test_worker_death_reissues_lease_and_preserves_bytes():
+    with running_coordinator(lease_timeout_s=0.5) as server:
+        # Disable stealing so the recovery must come from lease expiry,
+        # the path a silently dead worker exercises.
+        server.job.MAX_LEASES_PER_UNIT = 1
+        # A worker leases a unit and is then killed: no heartbeat, no
+        # completion, nothing.
+        status, grant = http_json("POST", server.url, LEASE_PATH,
+                                  {"worker_id": "doomed"})
+        assert status == 200 and grant["unit"] is not None
+        survivors = run_fleet(server, 2)
+        assert server.job.done()
+        assert server.job.leases_expired >= 1
+        # The dead worker's unit was re-run by a survivor ...
+        assert grant["unit"]["unit_id"] in server.job.completed
+        merged = server.job.merge(server.store, canonical=True)
+    # ... and the output is still the serial bytes.
+    assert merged.to_json() == serial_suite_json()
+    assert sum(loop.units_completed for loop in survivors) == len(
+        server.job.unit_order)
+
+
+def test_graceful_stop_drains_and_fleet_recovers():
+    with running_coordinator() as server:
+        quitter = WorkerLoop(server.url, worker_id="quitter",
+                             poll_s=0.02)
+        thread = threading.Thread(target=quitter.run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 60
+        while (quitter.units_completed < 1
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert quitter.units_completed >= 1
+        quitter.stop()  # the SIGTERM path: finish current unit, exit
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        # A replacement worker finishes the job; nothing the quitter
+        # completed is lost or re-run into disagreement.
+        run_fleet(server, 1)
+        assert server.job.done()
+        merged = server.job.merge(server.store, canonical=True)
+    assert merged.to_json() == serial_suite_json()
+
+
+# ----------------------------------------------------------------------
+# fleet-shared artifact cache
+# ----------------------------------------------------------------------
+def test_learn_artifact_is_shared_through_coordinator():
+    config = tiny_config()
+    circuit = resolve_circuit("s27")
+    digest = learn_digest(circuit, config.learn)
+    with running_coordinator(specs=("s27",), config=config) as server:
+        run_fleet(server, 2)
+        assert server.job.done()
+        # Exactly one learn unit exists and completed once; its
+        # artifact landed in the coordinator's store via the network
+        # tier.
+        learn_units = [unit_id for unit_id in server.job.unit_order
+                       if server.job.units[unit_id].kind == "learn"]
+        assert len(learn_units) == 1
+        assert learn_units[0] in server.job.completed
+        assert server.store.has_learn(digest)
+        # A cold store on a new machine gets the artifact from the
+        # coordinator instead of recomputing it.
+        late = RemoteStore(server.url)
+        fetched = late.get_learn(digest, circuit)
+        assert fetched is not None
+        assert late.remote_hits == 1
+        # Second read is a warm local hit, not another network trip.
+        assert late.get_learn(digest, circuit) is not None
+        assert late.remote_hits == 1
+        assert late.stats()["remote_hits"] == 1
+
+
+def test_remote_store_degrades_gracefully_when_unreachable():
+    config = tiny_config()
+    circuit = resolve_circuit("figure1")
+    digest = learn_digest(circuit, config.learn)
+    # Nothing listens here; every remote op must fail soft, fast.
+    store = RemoteStore("http://127.0.0.1:9", timeout=0.2)
+    assert store.get_learn(digest, circuit) is None
+    assert store.remote_errors >= 1
+    from repro.core.engine import learn
+
+    result = learn(circuit, config.learn)
+    store.put_learn(digest, result)  # upload fails; local tier keeps it
+    assert store.get_learn(digest, circuit) is result
+
+
+# ----------------------------------------------------------------------
+# satellite: store statistics surfaced through the stats request
+# ----------------------------------------------------------------------
+def test_stats_request_surfaces_artifact_store_counters():
+    store = ArtifactStore()
+    response = execute(StatsRequest(spec="figure1"), store=store)
+    assert response.ok
+    counters = response.result["artifact_store"]
+    for key in ("memory_hits", "disk_hits", "misses", "puts",
+                "flight_waits"):
+        assert key in counters

@@ -1,0 +1,169 @@
+"""Fault-list sharding: the distributed tier's determinism bedrock.
+
+The tentpole contract: for every shard count, sharded speculation plus
+replay merge produces :class:`~repro.atpg.driver.ATPGStats` equal to a
+serial :func:`~repro.atpg.driver.run_atpg` on every non-volatile field
+-- including the generated vectors themselves.  Everything above this
+layer (coordinator, workers, the wire) only moves these pieces around.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.atpg.driver import (
+    prepare_fault_list,
+    run_atpg,
+    tie_untestable_indices,
+)
+from repro.atpg.faults import partition_fault_indices
+from repro.core.engine import LearnConfig, learn
+from repro.dist.shards import (
+    FaultOutcome,
+    MissingOutcomeError,
+    make_fault_shards,
+    merge_shard_outcomes,
+    run_atpg_sharded,
+    run_fault_shard,
+)
+from repro.flow.config import ATPG_MODES, ATPGConfig
+from repro.flow.session import VOLATILE_KEYS, resolve_circuit
+
+
+def canon(stats):
+    """ATPGStats as a dict with the volatile wall-clock fields dropped."""
+    payload = dataclasses.asdict(stats)
+    return {key: value for key, value in payload.items()
+            if key not in VOLATILE_KEYS}
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    out = {}
+    for name in ("figure1", "s27"):
+        circuit = resolve_circuit(name)
+        out[name] = (circuit, learn(circuit, LearnConfig(max_frames=5)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+def test_partition_is_exact_and_deterministic():
+    for n_faults in (0, 1, 5, 32):
+        for n_shards in (1, 2, 3, 7, 40):
+            shards = partition_fault_indices(n_faults, n_shards)
+            assert len(shards) == n_shards
+            flat = sorted(index for shard in shards for index in shard)
+            assert flat == list(range(n_faults))  # no loss, no overlap
+            assert shards == partition_fault_indices(n_faults, n_shards)
+
+
+def test_partition_rejects_bad_shard_count():
+    with pytest.raises(ValueError, match="n_shards"):
+        partition_fault_indices(10, 0)
+
+
+def test_make_fault_shards_carries_identity():
+    shards = make_fault_shards(10, 3)
+    assert [shard.shard_index for shard in shards] == [0, 1, 2]
+    assert all(shard.n_shards == 3 for shard in shards)
+    # Round-robin: shard k owns indices congruent to k.
+    assert shards[1].fault_indices == (1, 4, 7)
+
+
+# ----------------------------------------------------------------------
+# the differential contract
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["figure1", "s27"])
+@pytest.mark.parametrize("mode", ATPG_MODES)
+def test_sharded_equals_serial_across_shard_counts(circuits, name, mode):
+    circuit, learned = circuits[name]
+    config = ATPGConfig(mode=mode, backtrack_limit=10, max_frames=3)
+    serial = run_atpg(circuit,
+                      learned=learned if mode != "none" else None,
+                      config=config)
+    for n_shards in (1, 2, 3, 7):
+        sharded = run_atpg_sharded(circuit, learned=learned,
+                                   config=config, n_shards=n_shards,
+                                   strict=True)
+        assert canon(sharded) == canon(serial)
+
+
+def test_sharded_equals_serial_with_kept_sequences(circuits):
+    # The strongest form: the actual generated+filled vectors match,
+    # not just the counters -- fill RNG replay is exact.
+    circuit, learned = circuits["s27"]
+    config = ATPGConfig(mode="known", backtrack_limit=10, max_frames=3,
+                        keep_sequences=True)
+    serial = run_atpg(circuit, learned=learned, config=config)
+    sharded = run_atpg_sharded(circuit, learned=learned, config=config,
+                               n_shards=3, strict=True)
+    assert serial.sequences == sharded.sequences
+    assert canon(sharded) == canon(serial)
+
+
+def test_shard_outcomes_skip_tie_untestable_faults(circuits):
+    # The serial loop never generates for tie-marked faults; shards
+    # must skip the same set or strict merges would demand outcomes
+    # the replay never asks for (and waste fleet time computing them).
+    circuit, learned = circuits["s27"]
+    config = ATPGConfig(mode="known", backtrack_limit=10, max_frames=3)
+    faults, classes = prepare_fault_list(circuit)
+    tie_marked = tie_untestable_indices(circuit, learned, faults,
+                                        classes)
+    outcomes = {}
+    for shard in make_fault_shards(len(faults), 2):
+        outcomes.update(run_fault_shard(circuit, shard, learned=learned,
+                                        config=config))
+    assert len(outcomes) == len(faults) - len(tie_marked)
+    assert not set(outcomes) & tie_marked
+
+
+def test_merge_strict_raises_on_missing_outcome(circuits):
+    circuit, learned = circuits["figure1"]
+    config = ATPGConfig(mode="known", backtrack_limit=10, max_frames=3)
+    faults, _ = prepare_fault_list(circuit)
+    shards = make_fault_shards(len(faults), 2)
+    # Only shard 0's outcomes: strict merges must refuse to guess.
+    outcomes = run_fault_shard(circuit, shards[0], learned=learned,
+                               config=config)
+    with pytest.raises(MissingOutcomeError):
+        merge_shard_outcomes(circuit, outcomes, learned=learned,
+                             config=config, strict=True)
+
+
+def test_merge_fallback_regenerates_missing_outcomes(circuits):
+    # Non-strict merges regenerate locally; per-fault generation is
+    # order-independent, so even a half-empty outcome map merges to
+    # the serial answer (this is the lost-shard recovery path).
+    circuit, learned = circuits["figure1"]
+    config = ATPGConfig(mode="known", backtrack_limit=10, max_frames=3)
+    faults, _ = prepare_fault_list(circuit)
+    shards = make_fault_shards(len(faults), 2)
+    outcomes = run_fault_shard(circuit, shards[0], learned=learned,
+                               config=config)
+    merged = merge_shard_outcomes(circuit, outcomes, learned=learned,
+                                  config=config, strict=False)
+    serial = run_atpg(circuit, learned=learned, config=config)
+    assert canon(merged) == canon(serial)
+
+
+# ----------------------------------------------------------------------
+# wire form
+# ----------------------------------------------------------------------
+def test_fault_outcome_round_trips_through_dict(circuits):
+    circuit, learned = circuits["s27"]
+    shard = make_fault_shards(32, 4)[1]
+    outcomes = run_fault_shard(
+        circuit, shard, learned=learned,
+        config=ATPGConfig(mode="known", backtrack_limit=10,
+                          max_frames=3))
+    assert outcomes  # the shard actually produced work
+    for outcome in outcomes.values():
+        rebuilt = FaultOutcome.from_dict(outcome.to_dict())
+        assert rebuilt == outcome
+        result = rebuilt.to_result()
+        assert result.status == outcome.status
+        assert tuple(result.sequence) == tuple(
+            dict(vec) for vec in outcome.sequence)
