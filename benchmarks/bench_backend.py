@@ -1,9 +1,12 @@
-"""Reference-vs-compiled backend speedup benchmark.
+"""Backend speedup benchmark: reference vs compiled vs array.
 
 Measures the two simulation hot paths and one end-to-end Table-5
-workload on both backends, checks the results are identical, and writes
-the speedup table to ``BENCH_backend.json`` (checked in at the repo
-root so the perf trajectory is tracked over PRs).
+workload on all three backends, checks the results are identical, and
+writes the speedup table to ``BENCH_backend.json`` (checked in at the
+repo root so the perf trajectory is tracked over PRs).  The array
+backend is timed on whichever substrate the install selects (numpy when
+importable, pure bigints otherwise); ``array_substrate`` in the payload
+records which one ran.
 
 Run from the repo root::
 
@@ -19,6 +22,11 @@ Rows:
   microbenchmark: the compiled backend must be >= 3x faster here).
 * ``atpg_e2e``     -- learning + full ATPG run (mode 'forbidden'),
   i.e. one Table-5 cell, dominated by fault dropping.
+
+Acceptance gates (full mode): compiled fault_sim >= 3x the reference;
+array fault_sim >= 10x the reference on a multicore machine with numpy
+(waived on single-core runners and bigint-substrate installs, matching
+the other benches' single-core waivers).
 
 Timing is best-of-N wall clock; identical-result assertions run on
 every repetition, so the bench doubles as a coarse differential test.
@@ -41,6 +49,11 @@ import random
 from repro.atpg.driver import run_atpg
 from repro.atpg.faults import collapse_faults
 from repro.circuit import iscas_like
+from repro.sim.array_backend import (
+    HAVE_NUMPY,
+    ArrayFaultSimulator,
+    simulate_patterns_array,
+)
 from repro.sim.compiled import CompiledFaultSimulator, compile_circuit
 from repro.sim.faultsim import FaultSimulator, fault_coverage
 from repro.sim.parallel import random_source_masks, simulate_patterns
@@ -62,18 +75,24 @@ def _best_of(fn: Callable[[], object], repeat: int
 
 def _row(bench: str, circuit_name: str, detail: str,
          reference: Callable[[], object],
-         compiled: Callable[[], object], repeat: int
+         compiled: Callable[[], object],
+         array: Callable[[], object], repeat: int
          ) -> Dict[str, object]:
     ref_s, ref_value = _best_of(reference, repeat)
     comp_s, comp_value = _best_of(compiled, repeat)
-    assert ref_value == comp_value, f"{bench}: backends disagree"
+    arr_s, arr_value = _best_of(array, repeat)
+    assert ref_value == comp_value, f"{bench}: compiled disagrees"
+    assert ref_value == arr_value, f"{bench}: array disagrees"
     return {
         "bench": bench,
         "circuit": circuit_name,
         "detail": detail,
         "reference_s": round(ref_s, 4),
         "compiled_s": round(comp_s, 4),
+        "array_s": round(arr_s, 4),
         "speedup": round(ref_s / comp_s, 2) if comp_s else float("inf"),
+        "array_speedup": (round(ref_s / arr_s, 2) if arr_s
+                          else float("inf")),
     }
 
 
@@ -100,10 +119,17 @@ def build_rows(tiny: bool, repeat: int) -> List[Dict[str, object]]:
             out = compiled_circuit.simulate_patterns(source, width)
         return out
 
+    def pattern_array():
+        out = None
+        for _ in range(loops):
+            out = simulate_patterns_array(pat_circuit, source, width)
+        return out
+
     rows.append(_row(
         "pattern_sim", pat_circuit.name,
         f"{loops}x {width}-bit signatures over {pat_circuit.num_gates} "
-        "gates", pattern_reference, pattern_compiled, repeat))
+        "gates", pattern_reference, pattern_compiled, pattern_array,
+        repeat))
 
     # -- fault simulation (the acceptance microbenchmark) --------------
     fs_circuit = iscas_like("s953" if tiny else "s1423",
@@ -116,11 +142,14 @@ def build_rows(tiny: bool, repeat: int) -> List[Dict[str, object]]:
                 for _ in range(frames)]
     ref_sim = FaultSimulator(fs_circuit)
     comp_sim = CompiledFaultSimulator(fs_circuit)
+    arr_sim = ArrayFaultSimulator(fs_circuit)
     rows.append(_row(
         "fault_sim", fs_circuit.name,
-        f"{len(faults)} collapsed faults x {frames} frames, width 128",
+        f"{len(faults)} collapsed faults x {frames} frames, "
+        "width 128 (array backend at its own default width)",
         lambda: ref_sim.detected(sequence, faults),
-        lambda: comp_sim.detected(sequence, faults), repeat))
+        lambda: comp_sim.detected(sequence, faults),
+        lambda: arr_sim.detected(sequence, faults), repeat))
 
     # -- end-to-end test-set grading (fault-sim bound) -----------------
     n_seq = 4 if tiny else 24
@@ -133,7 +162,9 @@ def build_rows(tiny: bool, repeat: int) -> List[Dict[str, object]]:
         lambda: fault_coverage(fs_circuit, grade_seqs, faults,
                                backend="reference"),
         lambda: fault_coverage(fs_circuit, grade_seqs, faults,
-                               backend="compiled"), repeat))
+                               backend="compiled"),
+        lambda: fault_coverage(fs_circuit, grade_seqs, faults,
+                               backend="array"), repeat))
 
     # -- end-to-end Table-5 workload -----------------------------------
     e2e_circuit = iscas_like("s386", scale=0.25 if tiny else 0.75)
@@ -151,7 +182,28 @@ def build_rows(tiny: bool, repeat: int) -> List[Dict[str, object]]:
         "run_atpg mode=none bt=10; PODEM-bound on this engine, so the "
         "backend moves only its fault-dropping share",
         lambda: atpg("reference"), lambda: atpg("compiled"),
-        max(1, repeat - 1)))
+        lambda: atpg("array"), max(1, repeat - 1)))
+
+    # -- dropping-heavy ATPG (sequential benchmark class) --------------
+    # Full collapsed fault list on a mid-size sequential circuit: every
+    # generated sequence fault-simulates against all still-live faults,
+    # so the simulator's end-to-end share is visible, not drowned by
+    # PODEM aborts as in the s386 row above.
+    drop_circuit = iscas_like("s641", scale=0.25 if tiny else 1.0)
+
+    def atpg_drop(backend: str) -> Tuple:
+        stats = run_atpg(drop_circuit, mode="none", backtrack_limit=10,
+                         max_frames=8, keep_sequences=False,
+                         sim_backend=backend)
+        return (stats.total_faults, stats.detected, stats.untestable,
+                stats.aborted, stats.collateral, stats.sequences_total)
+
+    rows.append(_row(
+        "atpg_drop", drop_circuit.name,
+        "run_atpg mode=none bt=10 over the full collapsed list; "
+        "generated sequences drop against every live fault",
+        lambda: atpg_drop("reference"), lambda: atpg_drop("compiled"),
+        lambda: atpg_drop("array"), max(1, repeat - 1)))
     return rows
 
 
@@ -169,9 +221,11 @@ def main(argv=None) -> int:
     rows = build_rows(args.tiny, args.repeat)
     payload = {
         "format": "repro/bench-backend",
-        "version": 1,
+        "version": 2,
         "tiny": args.tiny,
         "python": platform.python_version(),
+        "array_substrate": "numpy" if HAVE_NUMPY else "bigint",
+        "cpu_count": os.cpu_count(),
         "rows": rows,
     }
     with open(args.out, "w") as handle:
@@ -179,20 +233,37 @@ def main(argv=None) -> int:
         handle.write("\n")
 
     header = f"{'bench':<12} {'circuit':<12} {'reference_s':>11} " \
-             f"{'compiled_s':>10} {'speedup':>8}"
+             f"{'compiled_s':>10} {'array_s':>9} {'speedup':>8} " \
+             f"{'array':>7}"
     print(header)
     print("-" * len(header))
     for row in rows:
         print(f"{row['bench']:<12} {row['circuit']:<12} "
               f"{row['reference_s']:>11.4f} {row['compiled_s']:>10.4f} "
-              f"{row['speedup']:>7.2f}x")
-    print(f"\nwrote {os.path.abspath(args.out)}")
+              f"{row['array_s']:>9.4f} {row['speedup']:>7.2f}x "
+              f"{row['array_speedup']:>6.2f}x")
+    print(f"\nwrote {os.path.abspath(args.out)} "
+          f"(array substrate: {payload['array_substrate']})")
 
     fault_row = next(r for r in rows if r["bench"] == "fault_sim")
     if not args.tiny and fault_row["speedup"] < 3.0:
         print("FAIL: fault_sim speedup below the 3x acceptance bar",
               file=sys.stderr)
         return 1
+    # The array gate mirrors the other benches' multicore-only
+    # enforcement, and additionally requires the numpy substrate --
+    # the bigint fallback is a correctness path, not a perf claim.
+    multicore = (os.cpu_count() or 1) > 1
+    if not args.tiny and HAVE_NUMPY and multicore:
+        if fault_row["array_speedup"] < 10.0:
+            print("FAIL: array fault_sim speedup below the 10x "
+                  "acceptance bar", file=sys.stderr)
+            return 1
+    elif not args.tiny:
+        reason = ("bigint substrate" if not HAVE_NUMPY
+                  else "single-core machine")
+        print(f"note: array 10x gate waived ({reason}); measured "
+              f"{fault_row['array_speedup']}x")
     return 0
 
 

@@ -53,7 +53,9 @@ __all__ = [
 #: Version of the request *and* response envelope schema.  Bumped on
 #: any incompatible change; responses echo it so clients can gate.
 #: Version 2 added the ``shard`` kind (distributed fault-list tier).
-SCHEMA_VERSION = 2
+#: Version 3 added the ``array`` value to ``config.atpg.sim_backend``
+#: (older servers would reject it, so clients must be able to gate).
+SCHEMA_VERSION = 3
 
 
 @dataclass

@@ -152,10 +152,11 @@ def run_atpg(circuit: Circuit, *,
     generated vectors after fault simulation (suite runs over large
     circuits would otherwise hold every test in memory);
     :attr:`ATPGStats.sequences_total` counts them either way.
-    ``sim_backend`` picks the fault-dropping simulator ('compiled' or
-    'reference'); ``atpg_engine`` picks the PODEM engine ('incremental'
-    or 'reference', see :func:`repro.atpg.engine.make_atpg`).  Counts,
-    sequences and statistics are identical for every combination.
+    ``sim_backend`` picks the fault-dropping simulator ('compiled',
+    'array' or 'reference'); ``atpg_engine`` picks the PODEM engine
+    ('incremental' or 'reference', see
+    :func:`repro.atpg.engine.make_atpg`).  Counts, sequences and
+    statistics are identical for every combination.
 
     ``progress`` (never part of ``config``: it is UI, not data) is
     called as ``progress(targeted, total)`` after each fault the main

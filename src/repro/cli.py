@@ -300,9 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend(p):
         p.add_argument("--backend", default="compiled",
                        choices=SIM_BACKENDS,
-                       help="simulation backend (compiled kernels or "
-                            "the reference interpreters; identical "
-                            "results)")
+                       help="simulation backend (compiled straight-line "
+                            "kernels, vectorized array kernels, or the "
+                            "reference interpreters; identical results)")
 
     p = sub.add_parser("list", help="list built-in circuits")
     add_json(p)

@@ -70,6 +70,15 @@ def http_bytes(method: str, base_url: str, path: str,
 
     Raises ``OSError`` (connection refused, timeout, reset) for
     transport failures; HTTP-level errors come back as the status code.
+
+    ``http.client`` reports some transport failures through its own
+    hierarchy instead -- ``BadStatusLine`` on a garbled response,
+    ``IncompleteRead`` on a mid-body disconnect -- and those are *not*
+    ``OSError`` subclasses, so they are normalized here.  Every caller
+    in the dist tier (worker loop, :class:`~repro.dist.cache.
+    RemoteStore`) handles transport failure with ``except OSError``;
+    without this, a half-dead coordinator could raise straight through
+    a worker's lease loop.
     """
     parsed = urllib.parse.urlsplit(base_url)
     connection = http.client.HTTPConnection(
@@ -81,6 +90,9 @@ def http_bytes(method: str, base_url: str, path: str,
         connection.request(method, path, body=body, headers=headers)
         response = connection.getresponse()
         return response.status, response.read()
+    except http.client.HTTPException as exc:
+        raise OSError(
+            f"{type(exc).__name__}: {exc}") from exc
     finally:
         connection.close()
 

@@ -61,7 +61,8 @@ class WorkerLoop:
                  worker_id: Optional[str] = None,
                  poll_s: float = 0.1,
                  max_idle_s: float = 60.0,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0,
+                 announce=None):
         self.url = coordinator_url.rstrip("/")
         self.store = (store if store is not None
                       else RemoteStore(self.url, timeout=timeout))
@@ -70,8 +71,15 @@ class WorkerLoop:
         self.poll_s = poll_s
         self.max_idle_s = max_idle_s
         self.timeout = timeout
+        self.announce = announce
         self.units_completed = 0
         self.units_failed = 0
+        #: Heartbeat POSTs that failed in transport.  A missed beat only
+        #: shortens the lease, but a *streak* of them means the
+        #: coordinator may already have reaped and re-leased the unit
+        #: this worker is still burning CPU on -- so failures are
+        #: counted (and announced once per lease), never swallowed.
+        self.heartbeat_errors = 0
         self._stop = threading.Event()
 
     # ------------------------------------------------------------------
@@ -90,14 +98,26 @@ class WorkerLoop:
         done = threading.Event()
 
         def beat() -> None:
+            warned = False
             while not done.wait(heartbeat_s):
                 try:
                     http_json("POST", self.url, HEARTBEAT_PATH,
                               {"worker_id": self.worker_id,
                                "unit_id": unit_id},
                               timeout=self.timeout)
-                except OSError:
-                    pass  # a missed beat just shortens the lease
+                except OSError as exc:
+                    # A missed beat shortens the lease; a dead heartbeat
+                    # lets the coordinator reap and re-lease the unit
+                    # while this worker keeps computing it.  Count every
+                    # failure, announce the first one per lease.
+                    self.heartbeat_errors += 1
+                    if not warned:
+                        warned = True
+                        if self.announce is not None:
+                            self.announce(
+                                f"repro worker {self.worker_id}: "
+                                f"heartbeat for unit {unit_id} failed "
+                                f"({exc}); lease may be reaped")
 
         beater = threading.Thread(target=beat, daemon=True,
                                   name=f"repro-worker-beat-{unit_id}")
@@ -190,7 +210,8 @@ def run_worker(coordinator_url: str, jobs: int = 1,
     if jobs == 1:
         loop = WorkerLoop(coordinator_url,
                           store=RemoteStore(coordinator_url,
-                                            root=store_dir))
+                                            root=store_dir),
+                          announce=announce)
         try:
             signal.signal(signal.SIGTERM, lambda *_: loop.stop())
         except ValueError:
@@ -198,10 +219,17 @@ def run_worker(coordinator_url: str, jobs: int = 1,
         try:
             loop.run()
         except KeyboardInterrupt:
-            pass
+            # Ctrl-C mid-unit: the loop is already out of its run()
+            # body, so there is nothing left to drain -- but say so
+            # instead of exiting silently.
+            loop.stop()
+            if announce is not None:
+                announce("repro worker: interrupted, draining")
         if announce is not None:
             announce(f"repro worker: drained after "
-                     f"{loop.units_completed} unit(s)")
+                     f"{loop.units_completed} unit(s), "
+                     f"{loop.units_failed} failed, "
+                     f"{loop.heartbeat_errors} heartbeat error(s)")
         return 0
     ctx = multiprocessing.get_context()
     processes = [ctx.Process(target=_worker_process_main,
@@ -219,7 +247,7 @@ def run_worker(coordinator_url: str, jobs: int = 1,
     try:
         signal.signal(signal.SIGTERM, drain)
     except ValueError:
-        pass
+        pass  # not the main thread (tests); Ctrl-C drain below still works
     try:
         for process in processes:
             process.join()

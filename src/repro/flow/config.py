@@ -93,7 +93,9 @@ class ATPGConfig:
     #: every vector in memory; ``sequences_total`` is counted either way.
     keep_sequences: bool = False
     #: Simulation backend for fault simulation and learning signatures:
-    #: 'compiled' (straight-line kernels, the default) or 'reference'
+    #: 'compiled' (straight-line kernels, the default), 'array'
+    #: (whole-circuit vectorized kernels; numpy-accelerated with the
+    #: ``repro[fast]`` extra, pure-bigint otherwise) or 'reference'
     #: (the original interpreters).  Results are bit-identical; the
     #: reference backend exists for differential testing and debugging.
     sim_backend: str = "compiled"

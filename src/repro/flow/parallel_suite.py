@@ -117,10 +117,11 @@ def run_task(task: SuiteTask,
     try:
         session = PipelineSession(task.spec, config=task.config,
                                   progress=tracker)
-        if task.config.atpg.sim_backend == "compiled":
+        if task.config.atpg.sim_backend in ("compiled", "array"):
             # Compile kernels before the pipeline hot loops rather than
             # inside the first stage that needs them (a pool worker's
-            # cache may start empty).
+            # cache may start empty).  The array backend rides on the
+            # same lowering cache, so it warms the same way.
             warm_cache(session.circuit)
         session.compare(list(task.modes))
         return SuiteTaskResult(index=task.index, report=session.report())

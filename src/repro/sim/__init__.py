@@ -1,5 +1,12 @@
 """Simulation substrates: event-driven 3-valued, bit-parallel, fault sim."""
 
+from .array_backend import (
+    HAVE_NUMPY,
+    ArrayCircuit,
+    ArrayFaultSimulator,
+    array_form,
+    simulate_patterns_array,
+)
 from .compiled import (
     SIM_BACKENDS,
     CompiledCircuit,
@@ -37,6 +44,8 @@ from .values import (
 )
 
 __all__ = [
+    "HAVE_NUMPY", "ArrayCircuit", "ArrayFaultSimulator",
+    "array_form", "simulate_patterns_array",
     "SIM_BACKENDS", "CompiledCircuit", "CompiledFaultSimulator",
     "clear_compile_cache", "compile_cache_stats", "compile_circuit",
     "make_fault_simulator",

@@ -1,0 +1,807 @@
+"""Vectorized array-kernel simulation backend ("array").
+
+The compiled backend (:mod:`repro.sim.compiled`) removed per-gate
+*dispatch* but still executes one straight-line Python statement per
+gate, so its hot loops stay bytecode-bound.  This module lowers the same
+flat opcode/fanin schedule one step further, into a **levelized,
+opcode-grouped** form evaluated with whole-matrix bitwise operations:
+
+* two-plane values live in an ``(n_nodes + 2, n_words)`` matrix of
+  unsigned 64-bit words -- ``m0`` rows say "this machine sees 0",
+  ``m1`` rows "sees 1", neither means X (exactly the packed encoding of
+  :mod:`repro.sim.faultsim`) -- with fault-batch machines as bit
+  columns;
+* every gate of one opcode inside one topological level advances in a
+  single vectorized statement (a gather over the group's fanin index
+  matrix, a bitwise reduction, a scatter), so one step moves an entire
+  fault batch per *opcode group* instead of per gate;
+* the two extra matrix rows are constant pads -- a stuck-0 row and a
+  stuck-1 row -- letting groups of mixed fanin count pad short gates
+  with the opcode's neutral element (1 for AND-reduction, 0 for
+  OR/XOR-reduction).
+
+The wide-word substrate is chosen **at import time**: with ``numpy``
+installed (the ``repro[fast]`` extra) the matrix is a real
+``numpy.uint64`` array and the default batch width grows to
+:data:`DEFAULT_NUMPY_WIDTH` machines; without it a pure-bigint
+interpreter walks the same lowered arrays with Python integers as the
+packed words, so the stdlib-only install keeps working with identical
+results.  Setting ``REPRO_ARRAY_DISABLE_NUMPY=1`` in the environment
+forces the bigint path even when numpy is importable (the CI leg that
+proves the fallback).
+
+Like the other backends, detection sets and every downstream
+:class:`~repro.atpg.driver.ATPGStats` field are bit-identical by
+contract; ``tests/test_backend_differential.py`` pits all three against
+each other across the generated corpus, word widths and both array
+substrates.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import ONE, X, ZERO
+from ..circuit.netlist import Circuit
+from .compiled import (
+    CompiledCircuit,
+    OP_AND, OP_BUF, OP_NAND, OP_NOR, OP_NOT, OP_OR, OP_TIE0, OP_TIE1,
+    OP_XNOR, OP_XOR,
+    compile_circuit,
+)
+
+__all__ = ["HAVE_NUMPY", "ArrayCircuit", "ArrayFaultSimulator",
+           "array_form", "simulate_patterns_array"]
+
+try:
+    if os.environ.get("REPRO_ARRAY_DISABLE_NUMPY"):
+        raise ImportError("numpy disabled by REPRO_ARRAY_DISABLE_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy leg
+    _np = None
+
+#: True when the vectorized numpy substrate is active for this process.
+HAVE_NUMPY = _np is not None
+
+#: Default machines per batch on each substrate.  The numpy path gets
+#: faster per fault the wider the batch (matrix op cost is dominated by
+#: per-call overhead at these sizes), so it defaults wide; the bigint
+#: fallback pays per-limb cost linear in the width and keeps the
+#: compiled backend's classic 128.
+DEFAULT_NUMPY_WIDTH = 4096
+DEFAULT_BIGINT_WIDTH = 128
+
+#: Gate pins beyond a gate's fanin count are padded with the opcode's
+#: neutral row so one index matrix covers a whole mixed-fanin group.
+_AND_LIKE = (OP_AND, OP_NAND)
+_OR_LIKE = (OP_OR, OP_NOR)
+_XOR_LIKE = (OP_XOR, OP_XNOR)
+
+
+class _Group:
+    """All gates of one opcode inside one topological level."""
+
+    __slots__ = ("op", "out", "fanin", "max_fanin", "F2")
+
+    def __init__(self, op: int, out, fanin, max_fanin: int, F2=None):
+        self.op = op
+        self.out = out          # output node ids (list or np.intp array)
+        self.fanin = fanin      # per-pin fanin id lists (len max_fanin)
+        self.max_fanin = max_fanin
+        self.F2 = F2            # (max_fanin, n_gates) intp index matrix
+
+
+class ArrayCircuit:
+    """Levelized, opcode-grouped lowering of one compiled circuit.
+
+    Two extra plane rows follow the real nodes: row ``zero_row`` is a
+    constant logic-0 (``m0`` all ones), row ``one_row`` a constant
+    logic-1 -- the padding targets for short fanin tuples and the value
+    source for TIE gates.
+    """
+
+    def __init__(self, cc: CompiledCircuit):
+        self.cc = cc
+        self.zero_row = cc.n
+        self.one_row = cc.n + 1
+        self.rows = cc.n + 2
+        #: Topological level of every scheduled gate (sources are 0).
+        self.gate_level: Dict[int, int] = {}
+        #: fanin tuple per scheduled gate (pin-fault re-evaluation).
+        self.fanins: Dict[int, Tuple[int, ...]] = {}
+        self.tie0: List[int] = []
+        self.tie1: List[int] = []
+        #: nid -> (level index, group index, row inside the group), so a
+        #: batch can turn its hot-gate set into per-group patch tables.
+        self.gate_pos: Dict[int, Tuple[int, int, int]] = {}
+        per_level: Dict[int, Dict[int, List[Tuple[int, Tuple[int, ...]]]]] = {}
+        for op, nid, fis in cc.schedule:
+            self.fanins[nid] = fis
+            if op == OP_TIE0:
+                self.tie0.append(nid)
+                self.gate_level[nid] = 0
+                continue
+            if op == OP_TIE1:
+                self.tie1.append(nid)
+                self.gate_level[nid] = 0
+                continue
+            level = 1 + max((self.gate_level.get(f, 0) for f in fis),
+                            default=0)
+            self.gate_level[nid] = level
+            per_level.setdefault(level, {}).setdefault(op, []).append(
+                (nid, fis))
+        #: One list of groups per level, in ascending level order.
+        self.levels: List[List[_Group]] = []
+        for li, level in enumerate(sorted(per_level)):
+            groups = []
+            for gi, (op, gates) in enumerate(
+                    sorted(per_level[level].items())):
+                pad = (self.one_row if op in _AND_LIKE else self.zero_row)
+                max_fanin = max(len(fis) for _nid, fis in gates)
+                out = [nid for nid, _fis in gates]
+                for row, nid in enumerate(out):
+                    self.gate_pos[nid] = (li, gi, row)
+                fanin = [[(fis[j] if j < len(fis) else pad)
+                          for _nid, fis in gates]
+                         for j in range(max_fanin)]
+                F2 = None
+                if _np is not None:
+                    out = _np.asarray(out, dtype=_np.intp)
+                    F2 = _np.asarray(fanin, dtype=_np.intp)
+                groups.append(_Group(op, out, fanin, max_fanin, F2))
+            self.levels.append(groups)
+
+
+# ----------------------------------------------------------------------
+# lowering cache (piggybacks on the compiled-circuit LRU: one array
+# form per live CompiledCircuit, same fingerprint keying and lifetime)
+# ----------------------------------------------------------------------
+_FORM_LOCK = threading.Lock()
+
+
+def array_form(circuit: Circuit) -> ArrayCircuit:
+    """Fetch (or build) the array lowering for a frozen circuit."""
+    cc = compile_circuit(circuit)
+    form = getattr(cc, "_array_form", None)
+    if form is None:
+        with _FORM_LOCK:
+            form = getattr(cc, "_array_form", None)
+            if form is None:
+                form = ArrayCircuit(cc)
+                cc._array_form = form
+    return form
+
+
+# ----------------------------------------------------------------------
+# word helpers (numpy substrate)
+# ----------------------------------------------------------------------
+def _int_to_words(value: int, words: int):
+    """Pack a bigint mask into little-endian 64-bit word rows."""
+    raw = value.to_bytes(words * 8, "little")
+    return _np.frombuffer(raw, dtype="<u8").astype(_np.uint64)
+
+
+def _words_to_int(row) -> int:
+    return int.from_bytes(row.astype("<u8").tobytes(), "little")
+
+
+# ----------------------------------------------------------------------
+# per-batch fault aggregation (shared by both substrates)
+# ----------------------------------------------------------------------
+class _BatchForces:
+    """Bigint force masks of one packed fault batch.
+
+    Mirrors the aggregation of
+    :meth:`repro.sim.compiled.CompiledFaultSimulator.run_batch`: each
+    machine carries exactly one fault, so a bit lands in at most one of
+    (zero-mask, one-mask) per node, pin faults fold into per-(gate, pin)
+    bit groups, faults on PIs / FF outputs apply before gate evaluation
+    and a stuck FF data input acts at the frame boundary.
+    """
+
+    __slots__ = ("src", "ff", "out_zero", "out_one", "pin_groups", "hot")
+
+    def __init__(self, cc: CompiledCircuit, batch: List):
+        out_zero: Dict[int, int] = {}
+        out_one: Dict[int, int] = {}
+        pin_bits: Dict[Tuple[int, int], List[int]] = {}
+        for i, fault in enumerate(batch):
+            if fault.pin is None:
+                target = out_zero if fault.value == ZERO else out_one
+                target[fault.node] = target.get(fault.node, 0) | (1 << i)
+            else:
+                group = pin_bits.setdefault((fault.node, fault.pin),
+                                            [0, 0])
+                group[0 if fault.value == ZERO else 1] |= 1 << i
+        pin_groups: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for (nid, pin), (z, o) in pin_bits.items():
+            pin_groups.setdefault(nid, []).append((pin, z, o, z | o))
+        source_set = set(cc.inputs) | set(cc.ffs)
+        #: (nid, zero bits, one bits) forced onto PI / FF-output planes.
+        self.src = [(nid, out_zero.get(nid, 0), out_one.get(nid, 0))
+                    for nid in sorted(
+                        (set(out_zero) | set(out_one)) & source_set)]
+        #: FF position -> (zero bits, one bits) stuck D inputs.
+        self.ff: List[Tuple[int, int, int]] = []
+        for j, fid in enumerate(cc.ffs):
+            groups = pin_groups.pop(fid, None)
+            if groups is not None:
+                z = o = 0
+                for _pin, gz, go, _all in groups:
+                    z |= gz
+                    o |= go
+                self.ff.append((j, z, o))
+        self.out_zero = out_zero
+        self.out_one = out_one
+        self.pin_groups = pin_groups
+        #: Gates needing a mid-schedule patch after their level runs.
+        self.hot = (((set(out_zero) | set(out_one)) - source_set)
+                    | set(pin_groups))
+
+
+class ArrayFaultSimulator:
+    """Whole-circuit array-kernel sequential fault simulator.
+
+    Same contract as :class:`repro.sim.faultsim.FaultSimulator` and
+    :class:`repro.sim.compiled.CompiledFaultSimulator` -- identical
+    detection sets on any (sequence, faults) input, per-batch fault
+    dropping included.  ``width=None`` picks the substrate default
+    (:data:`DEFAULT_NUMPY_WIDTH` / :data:`DEFAULT_BIGINT_WIDTH`);
+    ``use_numpy=None`` follows the import-time probe, ``False`` forces
+    the pure-bigint interpreter, ``True`` requires numpy.
+    """
+
+    def __init__(self, circuit: Circuit, width: Optional[int] = None,
+                 use_numpy: Optional[bool] = None):
+        if use_numpy is None:
+            use_numpy = HAVE_NUMPY
+        elif use_numpy and not HAVE_NUMPY:
+            raise ValueError(
+                "use_numpy=True but numpy is not importable here; "
+                "install the repro[fast] extra or pass use_numpy=None")
+        self.use_numpy = bool(use_numpy)
+        if width is None:
+            width = (DEFAULT_NUMPY_WIDTH if self.use_numpy
+                     else DEFAULT_BIGINT_WIDTH)
+        if width < 1:
+            raise ValueError(f"word width must be >= 1, got {width}")
+        self.circuit = circuit
+        self.width = width
+        self.compiled = compile_circuit(circuit)
+        self.array = array_form(circuit)
+
+    # ------------------------------------------------------------------
+    def detected(self, sequence: Sequence[Dict[str, int]],
+                 faults: Sequence) -> Set[int]:
+        """Indices (into ``faults``) detected by ``sequence``."""
+        sequence = list(sequence)
+        if not faults or not sequence:
+            return set()
+        good_frames = self._good_output_frames(sequence)
+        run = (self._run_batch_np if self.use_numpy
+               else self._run_batch_int)
+        hit: Set[int] = set()
+        for start in range(0, len(faults), self.width):
+            batch = list(faults[start:start + self.width])
+            for local in run(sequence, batch, good_frames):
+                hit.add(start + local)
+        return hit
+
+    # ------------------------------------------------------------------
+    def _good_output_frames(self, sequence: Sequence[Dict[str, int]]
+                            ) -> List[List[int]]:
+        """Fault-free 3-valued output values, one list per frame.
+
+        One scalar machine through the compiled plane kernels -- shared
+        verbatim with the compiled backend so the good machine can never
+        disagree between them.
+        """
+        cc = self.compiled
+        m0 = [0] * cc.n
+        m1 = [0] * cc.n
+        s0 = [0] * len(cc.ffs)
+        s1 = [0] * len(cc.ffs)
+        frames: List[List[int]] = []
+        for vector in sequence:
+            get = vector.get
+            for nid, name in cc.input_pairs:
+                value = get(name, X)
+                if value == ZERO:
+                    m0[nid], m1[nid] = 1, 0
+                elif value == ONE:
+                    m0[nid], m1[nid] = 0, 1
+                else:
+                    m0[nid], m1[nid] = 0, 0
+            for j, fid in enumerate(cc.ffs):
+                m0[fid], m1[fid] = s0[j], s1[j]
+            cc.eval_planes(m0, m1, 1)
+            frames.append([ZERO if m0[oid] else (ONE if m1[oid] else X)
+                           for oid in cc.outputs])
+            for j, src in enumerate(cc.ff_data):
+                s0[j], s1[j] = m0[src], m1[src]
+        return frames
+
+    # ------------------------------------------------------------------
+    # numpy substrate
+    # ------------------------------------------------------------------
+    def _run_batch_np(self, sequence: Sequence[Dict[str, int]],
+                      batch: List, good_frames: List[List[int]]
+                      ) -> Set[int]:
+        np = _np
+        cc = self.compiled
+        ac = self.array
+        width = len(batch)
+        words = (width + 63) >> 6
+        full_int = (1 << width) - 1
+        forces = _BatchForces(cc, batch)
+        fullw = _int_to_words(full_int, words)
+
+        def to_words(mask: int):
+            return _int_to_words(mask, words)
+
+        # --- vectorized fault-injection tables -------------------------
+        # Per-gate fixups priced per *call* would dominate here (unlike
+        # the compiled backend's bigint fix, a tiny numpy op costs
+        # microseconds), so every injection becomes a row-indexed masked
+        # splice: ``plane[rows] = (plane[rows] & K) | V``, a constant
+        # number of numpy statements per force family per frame,
+        # whatever the fault count.
+        def splice_table(entries):
+            """[(row, z, o), ...] -> (rows, K, Z, O) numpy tables."""
+            rows = np.asarray([row for row, _z, _o in entries],
+                              dtype=np.intp)
+            K = np.stack([to_words(full_int & ~(z | o))
+                          for _row, z, o in entries])
+            Z = np.stack([to_words(z) for _row, z, _o in entries])
+            O = np.stack([to_words(o) for _row, _z, o in entries])
+            return rows, K, Z, O
+
+        src_patch = (splice_table(forces.src) if forces.src else None)
+        ff_patch = (splice_table(forces.ff) if forces.ff else None)
+        # A faulted (gate, pin) becomes a *virtual branch row* appended
+        # after the real nodes: the faulty gate's fanin index is
+        # redirected to it in a batch-local copy of the group's index
+        # matrix, and the row's value -- the source plane with the
+        # faulted machines' columns stuck -- is refreshed by one splice
+        # per level each frame, just before that level evaluates.  The
+        # splice patches only the faulted machines' bit columns, so
+        # every other machine (and every other consumer of the source
+        # line) sees the clean value.  Output-stuck gates are spliced
+        # in place, once per level, right after their level evaluates
+        # and before any consumer level reads them.
+        tie_hot: List[Tuple[int, int, int]] = []
+        virt_by_level: Dict[int, List] = {}
+        out_by_level: Dict[int, List] = {}
+        f2_overrides: Dict[Tuple[int, int], object] = {}
+        tie_set = set(ac.tie0) | set(ac.tie1)
+        n_virt = 0
+        for nid in sorted(forces.hot):
+            if nid in tie_set:
+                # Constant planes, never re-evaluated: splice once
+                # after allocation (TIEs carry no pin faults).
+                tie_hot.append((nid, forces.out_zero.get(nid, 0),
+                                forces.out_one.get(nid, 0)))
+                continue
+            li, gi, row = ac.gate_pos[nid]
+            pgroups = forces.pin_groups.get(nid)
+            if pgroups:
+                fis = ac.fanins[nid]
+                for pin, z, o, _bits in pgroups:
+                    dst = ac.rows + n_virt
+                    n_virt += 1
+                    virt_by_level.setdefault(li, []).append(
+                        (fis[pin], dst, z, o))
+                    F2b = f2_overrides.get((li, gi))
+                    if F2b is None:
+                        F2b = ac.levels[li][gi].F2.copy()
+                        f2_overrides[(li, gi)] = F2b
+                    F2b[pin, row] = dst
+            z = forces.out_zero.get(nid, 0)
+            o = forces.out_one.get(nid, 0)
+            if z or o:
+                out_by_level.setdefault(li, []).append((nid, z, o))
+        level_virt = {}
+        for li, entries in virt_by_level.items():
+            src_idx = np.asarray([s for s, _d, _z, _o in entries],
+                                 dtype=np.intp)
+            dst_idx = np.asarray([d for _s, d, _z, _o in entries],
+                                 dtype=np.intp)
+            _rows, K, Z, O = splice_table(
+                [(0, z, o) for _s, _d, z, o in entries])
+            level_virt[li] = (src_idx, dst_idx, K, Z, O)
+        level_out = {li: splice_table(entries)
+                     for li, entries in out_by_level.items()}
+
+        M0 = np.zeros((ac.rows + n_virt, words), dtype=np.uint64)
+        M1 = np.zeros((ac.rows + n_virt, words), dtype=np.uint64)
+        M0[ac.zero_row] = fullw
+        M1[ac.one_row] = fullw
+        for nid in ac.tie0:
+            M0[nid] = fullw
+        for nid in ac.tie1:
+            M1[nid] = fullw
+        for nid, z, o in tie_hot:
+            zw = to_words(z)
+            ow = to_words(o)
+            keep = ~(zw | ow)
+            M0[nid] = (M0[nid] & keep) | zw
+            M1[nid] = (M1[nid] & keep) | ow
+
+        n_ffs = len(cc.ffs)
+        if n_ffs:
+            ff_idx = np.asarray(cc.ffs, dtype=np.intp)
+            ffd_idx = np.asarray(cc.ff_data, dtype=np.intp)
+            s0 = np.zeros((n_ffs, words), dtype=np.uint64)
+            s1 = np.zeros((n_ffs, words), dtype=np.uint64)
+        detected: Set[int] = set()
+        det = np.zeros(words, dtype=np.uint64)
+        for frame, vector in enumerate(sequence):
+            get = vector.get
+            for nid, name in cc.input_pairs:
+                value = get(name, X)
+                if value == ZERO:
+                    M0[nid] = fullw
+                    M1[nid] = 0
+                elif value == ONE:
+                    M0[nid] = 0
+                    M1[nid] = fullw
+                else:
+                    M0[nid] = 0
+                    M1[nid] = 0
+            if n_ffs:
+                M0[ff_idx] = s0
+                M1[ff_idx] = s1
+            # Faults on PIs / FF outputs apply before gate evaluation.
+            if src_patch is not None:
+                rows, K, Z, O = src_patch
+                M0[rows] = (M0[rows] & K) | Z
+                M1[rows] = (M1[rows] & K) | O
+            for li, groups in enumerate(ac.levels):
+                lv = level_virt.get(li)
+                if lv is not None:
+                    src_idx, dst_idx, K, Z, O = lv
+                    M0[dst_idx] = (M0[src_idx] & K) | Z
+                    M1[dst_idx] = (M1[src_idx] & K) | O
+                for gi, g in enumerate(groups):
+                    _eval_group_np(g, M0, M1,
+                                   f2_overrides.get((li, gi)))
+                lo = level_out.get(li)
+                if lo is not None:
+                    rows, K, Z, O = lo
+                    M0[rows] = (M0[rows] & K) | Z
+                    M1[rows] = (M1[rows] & K) | O
+            # Detection at primary outputs against the good machine.
+            # ``& fullw`` guards the verdict against ghost columns of a
+            # partial final batch; the planes are provably confined to
+            # live machines, but a detection must never depend on that
+            # proof staying true.
+            good = good_frames[frame]
+            for k, oid in enumerate(cc.outputs):
+                gv = good[k]
+                if gv == X:
+                    continue
+                row = M1[oid] if gv == ZERO else M0[oid]
+                diff = row & ~det & fullw
+                if diff.any():
+                    det = det | diff
+                    for w in np.flatnonzero(diff):
+                        bits = int(diff[w])
+                        base = int(w) << 6
+                        while bits:
+                            low = bits & -bits
+                            detected.add(base + low.bit_length() - 1)
+                            bits ^= low
+            if np.array_equal(det, fullw):
+                # Per-batch fault dropping: every machine already showed
+                # its fault; later frames cannot change the verdict.
+                break
+            # Frame boundary: FFs capture their (possibly stuck) D input.
+            if n_ffs:
+                s0 = M0[ffd_idx]
+                s1 = M1[ffd_idx]
+                if ff_patch is not None:
+                    rows, K, Z, O = ff_patch
+                    s0[rows] = (s0[rows] & K) | Z
+                    s1[rows] = (s1[rows] & K) | O
+        return detected
+
+    # ------------------------------------------------------------------
+    # pure-bigint substrate (stdlib-only fallback, identical results)
+    # ------------------------------------------------------------------
+    def _run_batch_int(self, sequence: Sequence[Dict[str, int]],
+                       batch: List, good_frames: List[List[int]]
+                       ) -> Set[int]:
+        cc = self.compiled
+        ac = self.array
+        width = len(batch)
+        full = (1 << width) - 1
+        forces = _BatchForces(cc, batch)
+        out_zero = forces.out_zero
+        out_one = forces.out_one
+        pin_groups = forces.pin_groups
+        hot = forces.hot
+        m0 = [0] * ac.rows
+        m1 = [0] * ac.rows
+        m0[ac.zero_row] = full
+        m1[ac.one_row] = full
+        for nid in ac.tie0:
+            m0[nid] = full
+        for nid in ac.tie1:
+            m1[nid] = full
+        opcodes = cc.opcode
+
+        def fix(nid: int) -> None:
+            c0 = m0[nid]
+            c1 = m1[nid]
+            groups = pin_groups.get(nid)
+            if groups is not None:
+                op = opcodes[nid]
+                fis = ac.fanins[nid]
+                for pin, z, o, bits in groups:
+                    keep = ~(z | o)
+                    if op < 4:  # AND / NAND / OR / NOR
+                        and_like = op < 2
+                        r0 = 0 if and_like else full
+                        r1 = full if and_like else 0
+                        for i, f in enumerate(fis):
+                            f0 = m0[f]
+                            f1 = m1[f]
+                            if i == pin:
+                                f0 = (f0 & keep) | z
+                                f1 = (f1 & keep) | o
+                            if and_like:
+                                r0 |= f0
+                                r1 &= f1
+                            else:
+                                r0 &= f0
+                                r1 |= f1
+                        if op == OP_NAND or op == OP_NOR:
+                            r0, r1 = r1, r0
+                    elif op < 6:  # NOT / BUF
+                        f = fis[0]
+                        r0 = (m0[f] & keep) | z
+                        r1 = (m1[f] & keep) | o
+                        if op == OP_NOT:
+                            r0, r1 = r1, r0
+                    else:  # XOR / XNOR
+                        r0, r1 = full, 0
+                        for i, f in enumerate(fis):
+                            f0 = m0[f]
+                            f1 = m1[f]
+                            if i == pin:
+                                f0 = (f0 & keep) | z
+                                f1 = (f1 & keep) | o
+                            r0, r1 = (r0 & f0) | (r1 & f1), \
+                                (r0 & f1) | (r1 & f0)
+                        if op == OP_XNOR:
+                            r0, r1 = r1, r0
+                    c0 = (c0 & ~bits) | (r0 & bits)
+                    c1 = (c1 & ~bits) | (r1 & bits)
+            z = out_zero.get(nid)
+            o = out_one.get(nid)
+            if z is not None or o is not None:
+                z = z or 0
+                o = o or 0
+                keep = ~(z | o)
+                c0 = (c0 & keep) | z
+                c1 = (c1 & keep) | o
+            m0[nid] = c0
+            m1[nid] = c1
+
+        # Same level-0 TIE splice as the numpy path: constant planes,
+        # fixed once per batch instead of once per level pass.
+        for nid in (*ac.tie0, *ac.tie1):
+            if nid in hot:
+                fix(nid)
+        s0 = [0] * len(cc.ffs)
+        s1 = [0] * len(cc.ffs)
+        detected: Set[int] = set()
+        detected_mask = 0
+        for frame, vector in enumerate(sequence):
+            get = vector.get
+            for nid, name in cc.input_pairs:
+                value = get(name, X)
+                if value == ZERO:
+                    m0[nid], m1[nid] = full, 0
+                elif value == ONE:
+                    m0[nid], m1[nid] = 0, full
+                else:
+                    m0[nid], m1[nid] = 0, 0
+            for j, fid in enumerate(cc.ffs):
+                m0[fid], m1[fid] = s0[j], s1[j]
+            for nid, z, o in forces.src:
+                keep = ~(z | o)
+                m0[nid] = (m0[nid] & keep) | z
+                m1[nid] = (m1[nid] & keep) | o
+            for groups in ac.levels:
+                for g in groups:
+                    _eval_group_int(g, m0, m1, full)
+                    if hot:
+                        for nid in g.out:
+                            if nid in hot:
+                                fix(nid)
+            # Detection; the final ``& full`` is the same ghost-column
+            # guard as the numpy path (see there).
+            good = good_frames[frame]
+            for k, oid in enumerate(cc.outputs):
+                gv = good[k]
+                if gv == X:
+                    continue
+                diff = ((m1[oid] if gv == ZERO else m0[oid])
+                        & ~detected_mask & full)
+                if diff:
+                    detected_mask |= diff
+                    while diff:
+                        low = diff & -diff
+                        detected.add(low.bit_length() - 1)
+                        diff ^= low
+            if detected_mask == full:
+                break
+            for j, fid in enumerate(cc.ffs):
+                s0[j], s1[j] = m0[cc.ff_data[j]], m1[cc.ff_data[j]]
+            for j, z, o in forces.ff:
+                keep = ~(z | o)
+                s0[j] = (s0[j] & keep) | z
+                s1[j] = (s1[j] & keep) | o
+        return detected
+
+
+# ----------------------------------------------------------------------
+# group evaluators
+# ----------------------------------------------------------------------
+def _eval_group_np(g: _Group, M0, M1, F2=None) -> None:
+    """Advance every gate of one opcode group in a few matrix ops.
+
+    ``F2`` overrides the group's fanin index matrix (a batch-local copy
+    with faulted pins redirected to virtual branch rows); the clean
+    matrix is used when it is None.
+    """
+    np = _np
+    op = g.op
+    # One 3D gather per plane: (max_fanin, n_gates, n_words).
+    if F2 is None:
+        F2 = g.F2
+    G0 = M0[F2]
+    G1 = M1[F2]
+    if op in _AND_LIKE:
+        a = np.bitwise_or.reduce(G0, axis=0)
+        b = np.bitwise_and.reduce(G1, axis=0)
+        if op == OP_NAND:
+            a, b = b, a
+    elif op in _OR_LIKE:
+        a = np.bitwise_and.reduce(G0, axis=0)
+        b = np.bitwise_or.reduce(G1, axis=0)
+        if op == OP_NOR:
+            a, b = b, a
+    elif op == OP_NOT:
+        a, b = G1[0], G0[0]
+    elif op == OP_BUF:
+        a, b = G0[0], G1[0]
+    else:
+        # XOR / XNOR: pairwise 3-valued chain; X (neither bit) stays X.
+        a, b = G0[0], G1[0]
+        for j in range(1, g.max_fanin):
+            f0, f1 = G0[j], G1[j]
+            a, b = (a & f0) | (b & f1), (a & f1) | (b & f0)
+        if op == OP_XNOR:
+            a, b = b, a
+    M0[g.out] = a
+    M1[g.out] = b
+
+
+def _eval_group_int(g: _Group, m0: List[int], m1: List[int],
+                    full: int) -> None:
+    """Bigint interpretation of one group, gate by gate."""
+    op = g.op
+    F = g.fanin
+    k = g.max_fanin
+    if op in _AND_LIKE:
+        for i, nid in enumerate(g.out):
+            a = m0[F[0][i]]
+            b = m1[F[0][i]]
+            for j in range(1, k):
+                a |= m0[F[j][i]]
+                b &= m1[F[j][i]]
+            if op == OP_NAND:
+                a, b = b, a
+            m0[nid] = a
+            m1[nid] = b
+        return
+    if op in _OR_LIKE:
+        for i, nid in enumerate(g.out):
+            a = m0[F[0][i]]
+            b = m1[F[0][i]]
+            for j in range(1, k):
+                a &= m0[F[j][i]]
+                b |= m1[F[j][i]]
+            if op == OP_NOR:
+                a, b = b, a
+            m0[nid] = a
+            m1[nid] = b
+        return
+    if op == OP_NOT:
+        for i, nid in enumerate(g.out):
+            m0[nid] = m1[F[0][i]]
+            m1[nid] = m0[F[0][i]]
+        return
+    if op == OP_BUF:
+        for i, nid in enumerate(g.out):
+            m0[nid] = m0[F[0][i]]
+            m1[nid] = m1[F[0][i]]
+        return
+    for i, nid in enumerate(g.out):  # XOR / XNOR
+        t0 = m0[F[0][i]]
+        t1 = m1[F[0][i]]
+        for j in range(1, k):
+            f0 = m0[F[j][i]]
+            f1 = m1[F[j][i]]
+            t0, t1 = (t0 & f0) | (t1 & f1), (t0 & f1) | (t1 & f0)
+        if op == OP_XNOR:
+            t0, t1 = t1, t0
+        m0[nid] = t0
+        m1[nid] = t1
+
+
+# ----------------------------------------------------------------------
+# packed binary pattern simulation (learning signatures)
+# ----------------------------------------------------------------------
+def simulate_patterns_array(circuit: Circuit,
+                            source_masks: Dict[int, int],
+                            width: int,
+                            use_numpy: Optional[bool] = None
+                            ) -> Dict[int, int]:
+    """Whole-level packed pattern evaluation, one array op per group.
+
+    Drop-in for :func:`repro.sim.parallel.simulate_patterns` (identical
+    masks, identical ``KeyError`` on a missing source).  Without numpy
+    this delegates to the compiled straight-line kernels -- the bigint
+    substrate has no cross-gate vectorization to offer on this
+    single-plane path, and the compiled kernels are already exact.
+    """
+    if use_numpy is None:
+        use_numpy = HAVE_NUMPY
+    elif use_numpy and not HAVE_NUMPY:
+        raise ValueError("use_numpy=True but numpy is not importable")
+    cc = compile_circuit(circuit)
+    if not use_numpy:
+        return cc.simulate_patterns(source_masks, width)
+    np = _np
+    ac = array_form(circuit)
+    words = (width + 63) >> 6
+    full_int = (1 << width) - 1
+    fullw = _int_to_words(full_int, words)
+    V = np.zeros((ac.rows, words), dtype=np.uint64)
+    V[ac.one_row] = fullw  # AND pad; zero_row stays 0 for OR/XOR pads
+    for nid in cc.required_sources:
+        V[nid] = _int_to_words(source_masks[nid] & full_int, words)
+    for nid in ac.tie1:
+        V[nid] = fullw
+    for groups in ac.levels:
+        for g in groups:
+            op = g.op
+            F = g.fanin
+            if op in _AND_LIKE:
+                acc = V[F[0]]
+                for j in range(1, g.max_fanin):
+                    acc = acc & V[F[j]]
+                V[g.out] = (fullw ^ acc) if op == OP_NAND else acc
+            elif op in _OR_LIKE:
+                acc = V[F[0]]
+                for j in range(1, g.max_fanin):
+                    acc = acc | V[F[j]]
+                V[g.out] = (fullw ^ acc) if op == OP_NOR else acc
+            elif op == OP_NOT:
+                V[g.out] = fullw ^ V[F[0]]
+            elif op == OP_BUF:
+                V[g.out] = V[F[0]]
+            else:  # XOR / XNOR
+                acc = V[F[0]]
+                for j in range(1, g.max_fanin):
+                    acc = acc ^ V[F[j]]
+                V[g.out] = (fullw ^ acc) if op == OP_XNOR else acc
+    masks = dict(source_masks)
+    for nid in cc.gate_nids:
+        masks[nid] = _words_to_int(V[nid])
+    return masks

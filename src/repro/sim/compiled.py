@@ -47,8 +47,10 @@ from ..circuit.netlist import Circuit
 from .faultsim import FaultSimulator
 
 #: Selectable simulation backends (`ATPGConfig.sim_backend`, CLI
-#: ``--backend``).
-SIM_BACKENDS = ("reference", "compiled")
+#: ``--backend``).  "array" lives in :mod:`repro.sim.array_backend`
+#: (whole-circuit vectorized kernels, numpy-accelerated when the
+#: ``repro[fast]`` extra is installed, pure-bigint otherwise).
+SIM_BACKENDS = ("reference", "compiled", "array")
 
 #: Integer opcodes of the lowered gate schedule.
 OP_AND, OP_NAND, OP_OR, OP_NOR, OP_NOT, OP_BUF, OP_XOR, OP_XNOR, \
@@ -599,12 +601,25 @@ class CompiledFaultSimulator:
         return detected
 
 
-def make_fault_simulator(circuit: Circuit, width: int = 128,
+def make_fault_simulator(circuit: Circuit, width: Optional[int] = None,
                          backend: str = "compiled"):
-    """Factory over :data:`SIM_BACKENDS`; both share one contract."""
+    """Factory over :data:`SIM_BACKENDS`; all share one contract.
+
+    ``width=None`` picks the backend's default batch width (128 for the
+    reference and compiled engines; the array backend chooses by
+    substrate -- wide for numpy, 128 for the bigint fallback).  Safe
+    because detection sets are width-independent: each fault occupies
+    its own machine, so batch packing never changes a verdict.
+    """
     if backend == "compiled":
-        return CompiledFaultSimulator(circuit, width=width)
+        return CompiledFaultSimulator(
+            circuit, width=128 if width is None else width)
     if backend == "reference":
-        return FaultSimulator(circuit, width=width)
+        return FaultSimulator(
+            circuit, width=128 if width is None else width)
+    if backend == "array":
+        # Imported lazily: array_backend builds on this module.
+        from .array_backend import ArrayFaultSimulator
+        return ArrayFaultSimulator(circuit, width=width)
     raise ValueError(
         f"unknown sim backend {backend!r}; expected one of {SIM_BACKENDS}")

@@ -18,7 +18,7 @@ fault) and ``value`` (the stuck-at value) works; see
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import GateType, ONE, X, ZERO, eval_gate
 from ..circuit.netlist import Circuit
@@ -102,6 +102,13 @@ class FaultSimulator:
                    batch: List, good_frames: List[Dict[str, int]]
                    ) -> Set[int]:
         circuit = self.circuit
+        # The word width is the *live* batch length, never the
+        # configured ``self.width``: the last batch of a fault list is
+        # usually narrower, and sizing ``full`` to it means the two
+        # planes carry no ghost machines (bits beyond the live fault
+        # count) that could leak into detection or the all-detected
+        # drop test below.  ``tests/test_backend_edges.py``
+        # (test_partial_final_batch_*) holds every backend to this.
         width = len(batch)
         full = (1 << width) - 1
         out_faults: Dict[int, List[Tuple[int, int]]] = {}
@@ -210,12 +217,15 @@ def fault_simulate(circuit: Circuit, sequence: Sequence[Dict[str, int]],
 
 def fault_coverage(circuit: Circuit,
                    sequences: Iterable[Sequence[Dict[str, int]]],
-                   faults: Sequence, width: int = 128,
+                   faults: Sequence, width: Optional[int] = None,
                    backend: str = "reference") -> float:
     """Fraction of ``faults`` detected by any of the ``sequences``.
 
     ``backend='compiled'`` grades through the straight-line kernels of
-    :mod:`repro.sim.compiled`; coverage is identical either way.
+    :mod:`repro.sim.compiled`, ``backend='array'`` through the
+    level-vectorized kernels of :mod:`repro.sim.array_backend`;
+    coverage is identical any way.  ``width=None`` takes the backend's
+    default batch width (coverage never depends on batch packing).
     """
     from .compiled import make_fault_simulator
 

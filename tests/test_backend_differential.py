@@ -1,9 +1,12 @@
-"""Differential harness: compiled backend vs reference backend.
+"""Differential harness: compiled and array backends vs the reference.
 
 The compiled backend (:mod:`repro.sim.compiled`) re-implements the two
-simulation hot paths with generated straight-line code.  Its contract is
-*bit-identical results*, so every case here runs both backends on the
-same input and requires exact equality of
+simulation hot paths with generated straight-line code; the array
+backend (:mod:`repro.sim.array_backend`) lowers them again to
+whole-circuit bitwise operations (numpy word matrices when available,
+wide Python bigints otherwise).  Their contract is *bit-identical
+results*, so every case here runs all backends on the same input and
+requires exact equality of
 
 * packed pattern masks for every node,
 * fault-detection index sets (exercising batching, pin faults, FF
@@ -12,19 +15,36 @@ same input and requires exact equality of
 
 Cases cover plain random circuits across sizes, retimed circuits and
 multi-clock-domain industrial-like circuits (200+ generated netlists).
+The array backend runs on *both* substrates for every case
+(``use_numpy=False`` is exactly the code path a numpy-less install
+takes), with batch widths cycling through {1, 7, 64, 128, 257} to
+cross word boundaries (64, 128) and partial-word tails (7, 257).
 """
 
+import os
 import random
+import subprocess
+import sys
 import zlib
 
 import pytest
 
+import repro
 from repro.atpg.driver import run_atpg
 from repro.atpg.faults import collapse_faults, full_fault_list
 from repro.circuit import industrial_like, random_circuit, retime_circuit
+from repro.sim.array_backend import (
+    HAVE_NUMPY,
+    ArrayFaultSimulator,
+    simulate_patterns_array,
+)
 from repro.sim.compiled import CompiledFaultSimulator, compile_circuit
 from repro.sim.faultsim import FaultSimulator
 from repro.sim.parallel import random_source_masks, simulate_patterns
+
+#: Array-backend batch widths, cycled per case so the whole corpus
+#: crosses every boundary class without multiplying its runtime.
+ARRAY_WIDTHS = (1, 7, 64, 128, 257)
 
 # ----------------------------------------------------------------------
 # case generation: (kind, seed) -> circuit; 200 cases across shapes
@@ -72,11 +92,15 @@ def test_backends_identical(kind, seed):
     compiled = compile_circuit(circuit)
     rng = random.Random(zlib.crc32(kind.encode()) ^ seed)
 
-    # Packed pattern masks, node for node.
+    # Packed pattern masks, node for node, across all three backends
+    # (the array backend on both substrates).
     width = 1 + rng.randrange(64)
     source = random_source_masks(circuit, width, rng)
-    assert compiled.simulate_patterns(source, width) == \
-        simulate_patterns(circuit, source, width)
+    masks = simulate_patterns(circuit, source, width)
+    assert compiled.simulate_patterns(source, width) == masks
+    assert simulate_patterns_array(circuit, source, width) == masks
+    assert simulate_patterns_array(circuit, source, width,
+                                   use_numpy=False) == masks
 
     # Fault-detection sets over the collapsed list, odd word widths to
     # exercise batch boundaries (width 1 = one machine per word).
@@ -85,8 +109,18 @@ def test_backends_identical(kind, seed):
     sim_width = 1 if seed % 10 == 0 else 2 + rng.randrange(24)
     reference = FaultSimulator(circuit, width=sim_width)
     fast = CompiledFaultSimulator(circuit, width=sim_width)
-    assert fast.detected(sequence, faults) == \
-        reference.detected(sequence, faults)
+    detected = reference.detected(sequence, faults)
+    assert fast.detected(sequence, faults) == detected
+
+    # The array backend at its own width ladder -- detection sets are
+    # width-independent, so every rung must reproduce the reference set
+    # exactly, ghost columns and batch tails included.
+    array_width = ARRAY_WIDTHS[seed % len(ARRAY_WIDTHS)]
+    assert ArrayFaultSimulator(circuit, width=array_width).detected(
+        sequence, faults) == detected
+    assert ArrayFaultSimulator(
+        circuit, width=array_width, use_numpy=False).detected(
+        sequence, faults) == detected
 
 
 @pytest.mark.parametrize("seed", range(8))
@@ -96,9 +130,16 @@ def test_backends_identical_uncollapsed(seed):
     rng = random.Random(seed)
     faults = full_fault_list(circuit)
     sequence = _sequence(circuit, rng, length=8)
-    assert CompiledFaultSimulator(circuit, width=32).detected(
-        sequence, faults) == FaultSimulator(circuit, width=32).detected(
+    detected = FaultSimulator(circuit, width=32).detected(
         sequence, faults)
+    assert CompiledFaultSimulator(circuit, width=32).detected(
+        sequence, faults) == detected
+    array_width = ARRAY_WIDTHS[seed % len(ARRAY_WIDTHS)]
+    assert ArrayFaultSimulator(circuit, width=array_width).detected(
+        sequence, faults) == detected
+    assert ArrayFaultSimulator(
+        circuit, width=array_width, use_numpy=False).detected(
+        sequence, faults) == detected
 
 
 def _stats_key(stats):
@@ -112,11 +153,54 @@ def _stats_key(stats):
                          + [("retimed", s) for s in range(2)]
                          + [("industrial", s) for s in range(2)])
 def test_atpg_stats_identical(kind, seed):
-    """Whole ATPG runs produce identical statistics on both backends."""
+    """Whole ATPG runs produce identical statistics on every backend."""
     circuit = _build(kind, seed)
     rows = {}
-    for backend in ("reference", "compiled"):
+    for backend in ("reference", "compiled", "array"):
         rows[backend] = run_atpg(
             circuit, mode="none", backtrack_limit=8, max_frames=4,
             max_faults=24, keep_sequences=True, sim_backend=backend)
     assert _stats_key(rows["reference"]) == _stats_key(rows["compiled"])
+    assert _stats_key(rows["reference"]) == _stats_key(rows["array"])
+
+
+def test_numpy_substrates_covered():
+    """The harness above is only a three-backend proof if the two array
+    legs actually differ; when numpy is importable the default leg must
+    be on numpy (``use_numpy=False`` supplied the bigint leg)."""
+    circuit = _build("random", 0)
+    sim = ArrayFaultSimulator(circuit)
+    assert sim.use_numpy == HAVE_NUMPY
+
+
+def test_numpy_disable_env_forces_bigint_fallback():
+    """``REPRO_ARRAY_DISABLE_NUMPY`` is the numpy-absent leg in CI: a
+    fresh interpreter with it set must import the array backend on the
+    bigint substrate and still agree with the reference engine."""
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    code = (
+        "from repro.sim.array_backend import HAVE_NUMPY, "
+        "ArrayFaultSimulator\n"
+        "from repro.sim.faultsim import FaultSimulator\n"
+        "from repro.circuit import s27\n"
+        "from repro.atpg.faults import collapse_faults\n"
+        "assert not HAVE_NUMPY\n"
+        "circuit = s27()\n"
+        "sim = ArrayFaultSimulator(circuit)\n"
+        "assert not sim.use_numpy\n"
+        "faults = collapse_faults(circuit)\n"
+        "names = [circuit.nodes[i].name for i in circuit.inputs]\n"
+        "seq = [{name: (t + i) % 2 for i, name in enumerate(names)}\n"
+        "       for t in range(6)]\n"
+        "assert (sim.detected(seq, faults)\n"
+        "        == FaultSimulator(circuit).detected(seq, faults))\n"
+        "print('ok')\n"
+    )
+    env = dict(os.environ,
+               REPRO_ARRAY_DISABLE_NUMPY="1",
+               PYTHONPATH=src_root)
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"

@@ -6,9 +6,12 @@ workers draining a coordinator produces a canonical suite envelope
 and even when a worker dies mid-shard and its lease is re-issued.
 """
 
+import json
+import socket
 import threading
 import time
 from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
 
@@ -20,11 +23,13 @@ from repro.api import (
     learn_digest,
 )
 from repro.core import LearnConfig
+from repro.core.engine import learn
 from repro.dist import RemoteStore, WorkerLoop
 from repro.dist.coordinator import make_coordinator
-from repro.dist.protocol import LEASE_PATH, http_json
+from repro.dist.protocol import LEASE_PATH, http_bytes, http_json
 from repro.flow import ATPGConfig, ReproConfig
 from repro.flow.config import ATPG_MODES
+from repro.flow.serialize import learn_result_to_dict
 from repro.flow.session import resolve_circuit
 
 SPECS = ("figure1", "s27")
@@ -188,11 +193,151 @@ def test_remote_store_degrades_gracefully_when_unreachable():
     store = RemoteStore("http://127.0.0.1:9", timeout=0.2)
     assert store.get_learn(digest, circuit) is None
     assert store.remote_errors >= 1
-    from repro.core.engine import learn
 
     result = learn(circuit, config.learn)
     store.put_learn(digest, result)  # upload fails; local tier keeps it
     assert store.get_learn(digest, circuit) is result
+
+
+# ----------------------------------------------------------------------
+# hostile coordinators: corrupt payloads, garbled transport
+# ----------------------------------------------------------------------
+@contextmanager
+def stub_artifact_server(body: bytes):
+    """An HTTP server that answers every GET with ``body`` verbatim."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            self.send_response(200)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+@pytest.mark.parametrize("corruption", ["garbage", "not-json",
+                                        "wrong-digest"])
+def test_corrupt_artifact_payload_degrades_to_local_recompute(corruption):
+    """A 200 whose body fails validation is a miss, never an exception.
+
+    ``wrong-digest`` is the sharpest case: a structurally valid learn
+    artifact stamped with a different content address -- digest
+    verification must reject it and the store must degrade to local
+    recompute, counting ``remote_errors``.
+    """
+    config = tiny_config()
+    circuit = resolve_circuit("figure1")
+    digest = learn_digest(circuit, config.learn)
+    result = learn(circuit, config.learn)
+    body = {
+        "garbage": b'{"not": "a learn artifact"}',
+        "not-json": b"\xff\xfe this is not even text",
+        "wrong-digest": json.dumps(
+            learn_result_to_dict(result, digest="0" * 64)).encode(),
+    }[corruption]
+    with stub_artifact_server(body) as url:
+        store = RemoteStore(url, timeout=5.0)
+        assert store.get_learn(digest, circuit) is None
+        assert store.remote_errors == 1
+        assert store.remote_hits == 0
+        # The worker recomputes locally and keeps serving from its own
+        # tiers; the poisoned coordinator is never trusted again for
+        # this digest because the local hit now shadows it.
+        store.put_learn(digest, result)
+        assert store.get_learn(digest, circuit) is result
+
+
+@contextmanager
+def garbled_http_server():
+    """A socket that answers any request with a non-HTTP byte salad."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(5)
+    stop = threading.Event()
+
+    def serve():
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            with conn:
+                conn.recv(65536)
+                conn.sendall(b"totally not http\r\n\r\n")
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{listener.getsockname()[1]}"
+    finally:
+        stop.set()
+        listener.close()
+        thread.join(timeout=5)
+
+
+def test_garbled_transport_is_normalized_to_oserror():
+    """``http.client`` reports a garbled status line as BadStatusLine,
+    which is *not* an OSError -- ``http_bytes`` must normalize it so
+    every ``except OSError`` in the dist tier actually catches it."""
+    with garbled_http_server() as url:
+        with pytest.raises(OSError):
+            http_bytes("GET", url, "/v1/health", timeout=5.0)
+        # The same failure through RemoteStore degrades to a miss ...
+        config = tiny_config()
+        circuit = resolve_circuit("figure1")
+        store = RemoteStore(url, timeout=5.0)
+        assert store.get_learn(learn_digest(circuit, config.learn),
+                               circuit) is None
+        assert store.remote_errors == 1
+        # ... and through a worker's lease call to "unreachable", not a
+        # crash of the loop.
+        loop = WorkerLoop(url, store=ArtifactStore(), timeout=5.0)
+        assert loop.run_one() == "unreachable"
+
+
+# ----------------------------------------------------------------------
+# heartbeat failures: counted and announced, never silent
+# ----------------------------------------------------------------------
+def test_heartbeat_failures_counted_and_announced_once_per_lease(
+        monkeypatch):
+    import repro.dist.worker as worker_mod
+
+    messages = []
+    # Nothing listens on the coordinator port: every beat fails fast.
+    loop = WorkerLoop("http://127.0.0.1:9", store=ArtifactStore(),
+                      timeout=0.2, announce=messages.append)
+
+    class _Done:
+        @staticmethod
+        def envelope():
+            return {"ok": True}
+
+    def slow_execute(request, store=None):
+        time.sleep(0.25)  # long enough for several missed beats
+        return _Done()
+
+    monkeypatch.setattr(worker_mod, "execute", slow_execute)
+    envelope = loop._execute_with_heartbeats("u1", {}, heartbeat_s=0.02)
+    assert envelope == {"ok": True}
+    # Every miss is counted; the announcement fires once per lease.
+    assert loop.heartbeat_errors >= 2
+    assert len([m for m in messages if "heartbeat" in m]) == 1
+
+    envelope = loop._execute_with_heartbeats("u2", {}, heartbeat_s=0.02)
+    assert envelope == {"ok": True}
+    assert len([m for m in messages if "heartbeat" in m]) == 2
 
 
 # ----------------------------------------------------------------------
