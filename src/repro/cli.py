@@ -463,6 +463,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", metavar="DIR", default=None,
                    help="local artifact cache directory (misses fall "
                         "through to the coordinator's shared cache)")
+
+    p = sub.add_parser("devtool",
+                       help="project static analysis (determinism & "
+                            "concurrency lint, schema manifests)")
+    dev_sub = p.add_subparsers(dest="devtool_command", required=True)
+    dp = dev_sub.add_parser("lint",
+                            help="run the repro-lint rules (R001..R006) "
+                                 "over source paths")
+    dp.add_argument("paths", nargs="*", metavar="PATH",
+                    help="files or directories to lint (default: the "
+                         "installed repro package)")
+    dp.add_argument("--strict", action="store_true",
+                    help="warnings also fail the run (the CI gate)")
+    dp.add_argument("--json", action="store_true",
+                    help="emit diagnostics as a JSON array")
+    dp = dev_sub.add_parser("manifest",
+                            help="regenerate the R004 schema manifest "
+                                 "for SCHEMA_VERSION modules")
+    dp.add_argument("paths", nargs="*", metavar="PATH",
+                    help="files or directories to scan (default: the "
+                         "installed repro package)")
+    dp.add_argument("--write", action="store_true",
+                    help="write schema_manifest.json next to each "
+                         "module (default: print to stdout)")
     return parser
 
 
@@ -536,6 +560,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "coordinator":
         return _run_coordinator_command(args)
+    if args.command == "devtool":
+        from .devtools.cli import run_devtool
+
+        return run_devtool(args)
     if args.command == "worker":
         from .dist import run_worker
 

@@ -1,0 +1,14 @@
+"""Project-specific static analysis (``repro devtool lint``).
+
+Generic linters check Python; this package checks the *repro
+contract*: byte-identical canonical envelopes, lock discipline on
+daemon-shared state, schema-version hygiene, picklable task units and
+a counted error taxonomy.  See :mod:`repro.devtools.core` for the
+engine and :mod:`repro.devtools.checkers` for the rules.
+"""
+
+from __future__ import annotations
+
+from .core import Diagnostic, run_lint
+
+__all__ = ["Diagnostic", "run_lint"]

@@ -1,0 +1,95 @@
+"""Name-based call-graph reachability over the lint scope.
+
+R001 needs "every function reachable from the canonical-report roots",
+and a dynamic language only offers approximations.  This one is the
+conservative classic: collect every function/method definition in
+scope, take the *simple* (unqualified) name of each call site, and draw
+an edge to **every** definition sharing that name.  Indirect dispatch
+through ``self.method()``, injected callables passed by name, and
+same-named helpers all over-approximate toward "reachable", which is
+the right failure mode for a determinism gate -- a false edge can only
+make the rule look harder, never let wall-clock sneak through.
+
+Builtins and stdlib calls fall out naturally: they have no definition
+in scope, so they terminate the walk (banned *leaf* calls are matched
+separately by the rule, against the import-resolved dotted name).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .core import ModuleInfo
+
+__all__ = ["FunctionDef", "collect_functions", "reachable_from"]
+
+
+class FunctionDef:
+    """One function/method definition in lint scope."""
+
+    __slots__ = ("module", "node", "qualname", "simple_name", "calls")
+
+    def __init__(self, module: ModuleInfo, node: ast.AST,
+                 qualname: str):
+        self.module = module
+        self.node = node
+        self.qualname = f"{module.display}::{qualname}"
+        self.simple_name = qualname.rsplit(".", 1)[-1]
+        #: Simple names of everything this body calls (its own nested
+        #: defs excluded -- they get their own entries).
+        self.calls: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                func = child.func
+                if isinstance(func, ast.Name):
+                    self.calls.add(func.id)
+                elif isinstance(func, ast.Attribute):
+                    self.calls.add(func.attr)
+
+
+def collect_functions(modules: Iterable[ModuleInfo]) -> List[FunctionDef]:
+    """Every def in every module, with dotted-in-class qualnames."""
+    out: List[FunctionDef] = []
+
+    def walk(module: ModuleInfo, body, prefix: str) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                out.append(FunctionDef(module, node, qual))
+                walk(module, node.body, f"{qual}.")
+            elif isinstance(node, ast.ClassDef):
+                walk(module, node.body, f"{prefix}{node.name}.")
+
+    for module in modules:
+        walk(module, module.tree.body, "")
+    return out
+
+
+def reachable_from(functions: List[FunctionDef],
+                   root_names: Iterable[str]
+                   ) -> Dict[str, Tuple[str, FunctionDef]]:
+    """BFS over simple-name edges from every root-named definition.
+
+    Returns ``qualname -> (root simple name, FunctionDef)`` for every
+    definition reachable from a function whose simple name is in
+    ``root_names`` (the roots themselves included).
+    """
+    by_name: Dict[str, List[FunctionDef]] = {}
+    for fn in functions:
+        by_name.setdefault(fn.simple_name, []).append(fn)
+    roots = set(root_names)
+    seen: Dict[str, Tuple[str, FunctionDef]] = {}
+    queue: List[Tuple[FunctionDef, str]] = [
+        (fn, fn.simple_name) for fn in functions
+        if fn.simple_name in roots]
+    while queue:
+        fn, root = queue.pop()
+        if fn.qualname in seen:
+            continue
+        seen[fn.qualname] = (root, fn)
+        for callee in fn.calls:
+            for target in by_name.get(callee, ()):
+                if target.qualname not in seen:
+                    queue.append((target, root))
+    return seen

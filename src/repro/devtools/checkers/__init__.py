@@ -1,0 +1,23 @@
+"""The pluggable rule registry.
+
+A checker is any module exposing ``CODE`` (the diagnostic prefix) and
+``check(ctx: LintContext)``.  Registration is just membership in
+:data:`ALL_CHECKERS`; :func:`repro.devtools.core.run_lint` sorts by
+``CODE`` so rule order never depends on import order.
+"""
+
+from __future__ import annotations
+
+from . import (r001_wallclock, r002_iteration, r003_locks, r004_schema,
+               r005_pickle, r006_errors)
+
+ALL_CHECKERS = [
+    r001_wallclock,
+    r002_iteration,
+    r003_locks,
+    r004_schema,
+    r005_pickle,
+    r006_errors,
+]
+
+__all__ = ["ALL_CHECKERS"]

@@ -1,0 +1,377 @@
+"""R003 -- lock discipline on daemon-shared mutable state.
+
+A lightweight ThreadSanitizer-style AST pass.  Any class that creates a
+``threading.Lock`` / ``RLock`` / ``Condition`` attribute in ``__init__``
+is declaring "instances of me are shared across threads"; from then on,
+every *tracked* attribute -- a mutable container or integer counter also
+assigned in ``__init__`` -- must only be touched inside a lexical
+``with self.<lock>:`` block.  Writes (assignment, augmented assignment,
+subscript stores, mutating method calls like ``append``/``update``/
+``move_to_end``) outside the lock are errors; bare reads are warnings
+(a read of a torn multi-step update is a real race, but read-only
+post-quiesce phases are a legitimate pattern -- waive them with a
+reasoned suppression on the ``def`` line).
+
+Two structural exemptions keep the rule honest instead of noisy:
+
+* **ctor-only methods** -- helpers called (transitively) only from
+  ``__init__`` run before the instance is published to any thread;
+* **effectively-locked methods** -- helpers whose every in-class call
+  site is lexically inside a lock (or inside another effectively-locked
+  method) inherit the caller's lock, the classic ``_foo_locked``
+  pattern.
+
+The same pass runs at module scope: a module that pairs a module-level
+lock with module-level mutable globals (the compiled-kernel cache) gets
+its global writes checked against ``with <LOCK>:`` the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import LintContext, ModuleInfo, dotted_name
+
+CODE = "R003"
+
+#: threading primitives whose construction marks a lock attribute.
+_LOCK_TYPES = ("Lock", "RLock", "Condition", "Semaphore",
+               "BoundedSemaphore")
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "move_to_end", "sort",
+    "reverse", "appendleft", "popleft",
+}
+
+#: Container constructors whose result counts as shared mutable state.
+_CONTAINER_CTORS = {"dict", "list", "set", "OrderedDict", "defaultdict",
+                    "deque", "Counter"}
+
+WRITE_HINT = "move the write inside `with self.{lock}:`"
+READ_HINT = ("read under `with self.{lock}:` (or suppress on the def "
+             "line with a reason if no writer can be live here)")
+
+
+def _is_lock_ctor(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = dotted_name(value.func)
+    return dotted is not None and dotted.split(".")[-1] in _LOCK_TYPES
+
+
+def _is_tracked_init(value: ast.AST) -> bool:
+    """Initializer shapes that mark an attr as shared mutable state."""
+    if isinstance(value, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(value, ast.Constant) and isinstance(value.value, int) \
+            and not isinstance(value.value, bool):
+        return True
+    if isinstance(value, ast.Call):
+        dotted = dotted_name(value.func)
+        return (dotted is not None
+                and dotted.split(".")[-1] in _CONTAINER_CTORS
+                and not value.args and not value.keywords)
+    return False
+
+
+def _self_attr(node: ast.AST, owner: str = "self") -> Optional[str]:
+    """``self.X`` -> ``X`` (one level only; ``self.a.b`` returns None
+    for the outer attribute but ``a`` for its inner node)."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == owner:
+        return node.attr
+    return None
+
+
+class _Access:
+    __slots__ = ("attr", "node", "kind", "locked", "method")
+
+    def __init__(self, attr: str, node: ast.AST, kind: str,
+                 locked: bool, method: str):
+        self.attr = attr
+        self.node = node
+        self.kind = kind  # 'write' | 'read'
+        self.locked = locked
+        self.method = method
+
+
+def _with_holds_lock(node: ast.With, locks: Set[str],
+                     owner: Optional[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if owner is None:
+            if isinstance(expr, ast.Name) and expr.id in locks:
+                return True
+        else:
+            attr = _self_attr(expr, owner)
+            if attr is not None and attr in locks:
+                return True
+    return False
+
+
+def _scan_body(body, locks: Set[str], tracked: Set[str],
+               owner: Optional[str], method: str, locked: bool,
+               accesses: List[_Access],
+               calls: List[Tuple[str, bool]]) -> None:
+    """Walk statements, tracking the lexical with-lock state.
+
+    ``owner`` is the receiver name ('self') for class scope, or None
+    for module scope (tracked names are then plain globals).
+    """
+
+    def attr_of(node: ast.AST) -> Optional[str]:
+        if owner is None:
+            return node.id if (isinstance(node, ast.Name)
+                               and node.id in tracked) else None
+        name = _self_attr(node, owner)
+        return name if name in tracked else None
+
+    def record(node: ast.AST, target: ast.AST, kind: str) -> None:
+        name = attr_of(target)
+        if name is not None:
+            accesses.append(_Access(name, node, kind, locked, method))
+
+    def scan_expr(node: ast.AST) -> None:
+        """Reads + mutator calls inside one expression tree."""
+        mutated: Set[int] = set()  # receiver node ids already counted
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and \
+                    isinstance(child.func, ast.Attribute):
+                name = attr_of(child.func.value)
+                if name is not None and child.func.attr in _MUTATORS:
+                    accesses.append(_Access(
+                        name, child, "write", locked, method))
+                    mutated.add(id(child.func.value))
+                if owner is not None:
+                    callee = _self_attr(child.func, owner)
+                    if callee is not None:
+                        calls.append((callee, locked))
+        for child in ast.walk(node):
+            if id(child) in mutated:
+                continue
+            if isinstance(child, ast.Attribute) and \
+                    isinstance(child.ctx, ast.Load):
+                name = attr_of(child)
+                if name is not None:
+                    accesses.append(_Access(
+                        name, child, "read", locked, method))
+            elif owner is None and isinstance(child, ast.Name) and \
+                    isinstance(child.ctx, ast.Load) and \
+                    child.id in tracked:
+                accesses.append(_Access(
+                    child.id, child, "read", locked, method))
+
+    for stmt in body:
+        if isinstance(stmt, ast.With) and _with_holds_lock(
+                stmt, locks, owner):
+            _scan_body(stmt.body, locks, tracked, owner, method, True,
+                       accesses, calls)
+            continue
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                record(stmt, target, "write")
+                if isinstance(target, ast.Subscript):
+                    record(stmt, target.value, "write")
+            scan_expr(stmt.value)
+            continue
+        if isinstance(stmt, ast.AugAssign):
+            record(stmt, stmt.target, "write")
+            if isinstance(stmt.target, ast.Subscript):
+                record(stmt, stmt.target.value, "write")
+            scan_expr(stmt.value)
+            continue
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.target is not None:
+                record(stmt, stmt.target, "write")
+            if stmt.value is not None:
+                scan_expr(stmt.value)
+            continue
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                record(stmt, target, "write")
+                if isinstance(target, ast.Subscript):
+                    record(stmt, target.value, "write")
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs (heartbeat threads!) execute later, possibly
+            # on another thread: their bodies are scanned as UNLOCKED
+            # regardless of the lexical with around the def.
+            _scan_body(stmt.body, locks, tracked, owner,
+                       f"{method}.{stmt.name}", False, accesses, calls)
+            continue
+        # Generic statement: recurse into nested blocks, scan the
+        # expressions hanging off this node (but not nested statements,
+        # which the recursion owns).
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody"):
+                if isinstance(value, list):
+                    _scan_body(value, locks, tracked, owner, method,
+                               locked, accesses, calls)
+            elif field_name == "handlers":
+                for handler in value:
+                    _scan_body(handler.body, locks, tracked, owner,
+                               method, locked, accesses, calls)
+            elif isinstance(value, ast.AST):
+                scan_expr(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.withitem):
+                        scan_expr(item.context_expr)
+                    elif isinstance(item, ast.AST) and not isinstance(
+                            item, ast.stmt):
+                        scan_expr(item)
+                    elif isinstance(item, ast.stmt):
+                        _scan_body([item], locks, tracked, owner,
+                                   method, locked, accesses, calls)
+
+
+def _analyze_class(ctx: LintContext, module: ModuleInfo,
+                   cls: ast.ClassDef) -> None:
+    init: Optional[ast.FunctionDef] = None
+    methods: Dict[str, ast.AST] = {}
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[node.name] = node
+            if node.name == "__init__":
+                init = node
+    if init is None:
+        return
+    locks: Set[str] = set()
+    tracked: Set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            attr, value = _self_attr(node.targets[0]), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            attr, value = _self_attr(node.target), node.value
+        else:
+            continue
+        if attr is None:
+            continue
+        if _is_lock_ctor(value):
+            locks.add(attr)
+        elif _is_tracked_init(value):
+            tracked.add(attr)
+    tracked -= locks
+    if not locks or not tracked:
+        return
+
+    # Per-method accesses and in-class call sites.
+    accesses: Dict[str, List[_Access]] = {}
+    callsites: Dict[str, List[Tuple[str, bool]]] = {}
+    for name, node in methods.items():
+        acc: List[_Access] = []
+        calls: List[Tuple[str, bool]] = []
+        _scan_body(node.body, locks, tracked, "self", name, False,
+                   acc, calls)
+        accesses[name] = acc
+        for callee, locked in calls:
+            if callee in methods:
+                callsites.setdefault(callee, []).append((name, locked))
+
+    # Fixpoint 1: ctor-only (runs before the instance is shared).
+    ctor_only: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in methods:
+            if name == "__init__" or name in ctor_only:
+                continue
+            sites = callsites.get(name)
+            if sites and all(caller == "__init__" or caller in ctor_only
+                             for caller, _locked in sites):
+                ctor_only.add(name)
+                changed = True
+
+    # Fixpoint 2: effectively locked (every call site holds the lock).
+    eff_locked: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in methods:
+            if name in ("__init__",) or name in eff_locked \
+                    or name in ctor_only:
+                continue
+            sites = callsites.get(name)
+            if sites and all(locked or caller in eff_locked
+                             for caller, locked in sites):
+                eff_locked.add(name)
+                changed = True
+
+    lock_name = sorted(locks)[0]
+    for name, acc in accesses.items():
+        if name == "__init__" or name in ctor_only:
+            continue
+        exempt = name in eff_locked
+        for access in acc:
+            if access.locked or exempt:
+                continue
+            # The nested-def scan resets `locked`, and nested helpers
+            # are keyed 'method.inner' -- exempt those only if the
+            # *outer* method is exempt, which `exempt` already covers.
+            if access.kind == "write":
+                ctx.add(CODE, module, access.node,
+                        f"`{cls.name}.{name}` writes shared attribute "
+                        f"`self.{access.attr}` outside `with "
+                        f"self.{lock_name}`",
+                        hint=WRITE_HINT.format(lock=lock_name))
+            else:
+                ctx.add(CODE, module, access.node,
+                        f"`{cls.name}.{name}` reads shared attribute "
+                        f"`self.{access.attr}` outside `with "
+                        f"self.{lock_name}`",
+                        hint=READ_HINT.format(lock=lock_name),
+                        severity="warning")
+
+
+def _analyze_module_globals(ctx: LintContext,
+                            module: ModuleInfo) -> None:
+    locks: Set[str] = set()
+    tracked: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if _is_lock_ctor(node.value):
+                locks.add(name)
+            elif _is_tracked_init(node.value):
+                tracked.add(name)
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and \
+                node.value is not None:
+            if _is_lock_ctor(node.value):
+                locks.add(node.target.id)
+            elif _is_tracked_init(node.value):
+                tracked.add(node.target.id)
+    tracked -= locks
+    if not locks or not tracked:
+        return
+    for node in module.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        accesses: List[_Access] = []
+        calls: List[Tuple[str, bool]] = []
+        _scan_body(node.body, locks, tracked, None, node.name, False,
+                   accesses, calls)
+        lock_name = sorted(locks)[0]
+        for access in accesses:
+            # Module scope flags writes only: module counters are read
+            # all over (stats lines, tests) and a torn int read cannot
+            # happen under the GIL -- the invariant the cache needs is
+            # that *updates* are serialized.
+            if access.kind != "write" or access.locked:
+                continue
+            ctx.add(CODE, module, access.node,
+                    f"`{node.name}` writes module global "
+                    f"`{access.attr}` outside `with {lock_name}`",
+                    hint=WRITE_HINT.format(lock=lock_name))
+
+
+def check(ctx: LintContext) -> None:
+    for module in ctx.modules:
+        _analyze_module_globals(ctx, module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                _analyze_class(ctx, module, node)

@@ -1,0 +1,112 @@
+"""R006 -- error-taxonomy discipline in worker/protocol loops.
+
+A distributed worker that swallows exceptions in its service loop
+doesn't crash -- it silently stops making progress, which is worse.
+In the dist tier (workers, protocol, server) every failure must either
+route through a typed :class:`ReproError` code or take a *counted
+degrade path* (increment a counter, announce once, keep serving).
+The shapes this rule bans:
+
+* bare ``except:`` anywhere in scope -- it eats ``KeyboardInterrupt``
+  and ``SystemExit`` along with the real errors;
+* a handler whose whole body is ``pass`` when either the caught type
+  is broad (``Exception`` / ``BaseException``) or the handler sits
+  inside a loop -- a silent ``pass`` in a loop is the
+  stops-making-progress pattern.  A *narrow* silent pass outside a
+  loop (``except ValueError: pass`` around one ``signal.signal``)
+  remains legal: it cannot hide a recurring failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..core import LintContext, ModuleInfo
+
+CODE = "R006"
+
+#: In scope: the dist tier plus anything that serves or works.
+SCOPED_BASENAMES = {"server.py", "protocol.py"}
+
+HINT = ("catch a narrow type and route it through a ReproError code, "
+        "or count it on a degrade path (counter += 1, announce once)")
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    path = module.path.replace("\\", "/")
+    return ("/dist/" in path
+            or module.basename in SCOPED_BASENAMES
+            or "worker" in module.basename)
+
+
+def _is_broad(handler_type: Optional[ast.AST]) -> bool:
+    if handler_type is None:
+        return True
+    names = []
+    if isinstance(handler_type, ast.Tuple):
+        names = [element for element in handler_type.elts]
+    else:
+        names = [handler_type]
+    for node in names:
+        target = node
+        if isinstance(target, ast.Attribute):
+            target = ast.Name(id=target.attr)
+        if isinstance(target, ast.Name) and \
+                target.id in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _silent(body) -> bool:
+    return len(body) == 1 and isinstance(body[0], ast.Pass)
+
+
+def _check_function(ctx: LintContext, module: ModuleInfo,
+                    fn: ast.AST) -> None:
+    def walk(body, in_loop: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(stmt.body, False)  # new function, new loop state
+                continue
+            stmt_in_loop = in_loop or isinstance(
+                stmt, (ast.For, ast.AsyncFor, ast.While))
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    if handler.type is None:
+                        ctx.add(CODE, module, handler,
+                                "bare `except:` in the dist tier eats "
+                                "KeyboardInterrupt/SystemExit",
+                                hint=HINT)
+                    elif _silent(handler.body):
+                        if _is_broad(handler.type):
+                            ctx.add(CODE, module, handler,
+                                    "broad exception silently passed; "
+                                    "failures must be typed or "
+                                    "counted", hint=HINT)
+                        elif in_loop:
+                            ctx.add(CODE, module, handler,
+                                    "silent `pass` handler inside a "
+                                    "service loop hides repeated "
+                                    "failures", hint=HINT)
+                    walk(handler.body, stmt_in_loop)
+            for field_name, value in ast.iter_fields(stmt):
+                if field_name in ("body", "orelse", "finalbody") and \
+                        isinstance(value, list):
+                    walk(value, stmt_in_loop)
+
+    walk(fn.body, False)
+
+
+def check(ctx: LintContext) -> None:
+    for module in ctx.modules:
+        if not _in_scope(module):
+            continue
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _check_function(ctx, module, node)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        _check_function(ctx, module, item)

@@ -1,0 +1,113 @@
+"""``repro devtool`` -- the developer-facing entry points.
+
+``lint`` runs every registered rule over the given paths (default: the
+installed ``repro`` package) and prints coded ``file:line`` findings
+with fix hints.  Exit status is the CI contract: 1 if any *error* was
+found, and under ``--strict`` warnings fail too.  ``--json`` emits the
+diagnostics as a JSON array for tooling.
+
+``manifest`` regenerates the R004 schema manifest next to every module
+that declares a ``SCHEMA_VERSION`` (``--write``), or prints the would-be
+content for review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .checkers import r004_schema
+from .core import Diagnostic, iter_py_files, load_module, run_lint
+
+
+def _default_root() -> str:
+    """The repo checkout if we are inside one, else the package dir."""
+    package_dir = os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))  # .../src/repro
+    return package_dir
+
+
+def _repo_root_for(path: str) -> str:
+    """Nearest ancestor holding a .git, for pretty relative paths."""
+    probe = os.path.abspath(path)
+    while True:
+        if os.path.isdir(os.path.join(probe, ".git")):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return os.path.abspath(path)
+        probe = parent
+
+
+def run_lint_command(paths: List[str], strict: bool = False,
+                     as_json: bool = False,
+                     stream=None) -> int:
+    out = stream if stream is not None else sys.stdout
+    if not paths:
+        paths = [_default_root()]
+    root = _repo_root_for(paths[0])
+    diagnostics = run_lint(paths, root=root)
+    errors = [d for d in diagnostics if d.severity == "error"]
+    warnings = [d for d in diagnostics if d.severity != "error"]
+    if as_json:
+        json.dump([d.to_dict() for d in diagnostics], out, indent=2,
+                  sort_keys=True)
+        out.write("\n")
+    else:
+        for diag in diagnostics:
+            out.write(diag.format() + "\n")
+        out.write(f"repro-lint: {len(errors)} error(s), "
+                  f"{len(warnings)} warning(s) across "
+                  f"{len(iter_py_files(paths))} file(s)\n")
+    if errors:
+        return 1
+    if strict and warnings:
+        return 1
+    return 0
+
+
+def run_manifest_command(paths: List[str], write: bool = False,
+                         stream=None) -> int:
+    out = stream if stream is not None else sys.stdout
+    if not paths:
+        paths = [_default_root()]
+    root = _repo_root_for(paths[0])
+    per_dir = {}
+    for path in iter_py_files(paths):
+        module, problem = load_module(path, root)
+        if module is None:
+            out.write(problem.format() + "\n")
+            return 1
+        if r004_schema.schema_version_of(module) is None:
+            continue
+        manifest_path = r004_schema.manifest_path_for(module)
+        entry = r004_schema.build_manifest_entry(module)
+        per_dir.setdefault(manifest_path, {})[module.basename] = entry
+    if not per_dir:
+        out.write("repro-lint: no SCHEMA_VERSION modules found\n")
+        return 0
+    for manifest_path, modules in sorted(per_dir.items()):
+        payload = {"format": r004_schema.MANIFEST_FORMAT,
+                   "modules": {name: modules[name]
+                               for name in sorted(modules)}}
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if write:
+            with open(manifest_path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            out.write(f"wrote {manifest_path}\n")
+        else:
+            out.write(f"--- {manifest_path}\n{text}")
+    return 0
+
+
+def run_devtool(args) -> int:
+    """Dispatch for the ``repro devtool`` subcommand namespace."""
+    if args.devtool_command == "lint":
+        return run_lint_command(list(args.paths or []),
+                                strict=args.strict, as_json=args.json)
+    if args.devtool_command == "manifest":
+        return run_manifest_command(list(args.paths or []),
+                                    write=args.write)
+    raise SystemExit(f"unknown devtool command: {args.devtool_command}")

@@ -1,0 +1,296 @@
+"""The lint engine: modules, diagnostics, suppressions, the runner.
+
+The devtools subsystem is an AST-based static analyzer for the
+*project's own* invariants -- the ones generic linters cannot know:
+byte-identical canonical envelopes (no wall clock in report paths, no
+set-order iteration in merges), lock discipline on daemon-shared state,
+schema-version hygiene, picklable task units and a counted error
+taxonomy.  Each rule lives in :mod:`repro.devtools.checkers` as a small
+module exposing ``CODE`` and ``check(ctx)``; this module supplies what
+every rule needs:
+
+* :class:`ModuleInfo` -- one parsed source file: AST, source lines,
+  import alias map and the suppression table;
+* :class:`Diagnostic` -- one coded finding with a file:line anchor and
+  a fix hint;
+* :class:`LintContext` -- the checker's view of the whole lint scope
+  (rules like R001's call-graph walk and R004's manifest compare are
+  inherently cross-module);
+* :func:`run_lint` -- collect files, parse, run every registered
+  checker, apply suppressions, return sorted diagnostics.
+
+Suppression syntax (mirrors the big linters)::
+
+    something_racy()  # repro-lint: disable=R003 (reason why it is ok)
+
+A suppression applies to its own line and the line below it (so a
+comment can sit on its own line above the statement); on a ``def`` or
+``class`` line it covers the whole body, which is how intentionally
+lock-free code (e.g. post-drain merge reads) is waived once, at the
+declaration, with one visible reason.  A suppression **without** a
+parenthesized reason is itself a violation (:data:`META_CODE`):
+unexplained waivers rot into blind spots.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "META_CODE", "Diagnostic", "ModuleInfo", "LintContext",
+    "dotted_name", "iter_py_files", "load_module", "run_lint",
+]
+
+#: Code of the meta rule: malformed lint input (unparsable file,
+#: suppression without a reason).  Never suppressible.
+META_CODE = "R000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z][0-9]{3}(?:\s*,\s*[A-Z][0-9]{3})*)"
+    r"(?:\s*\(([^)]*)\))?")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One coded finding, anchored to a file:line, with a fix hint."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    severity: str = "error"  # 'error' | 'warning'
+
+    def format(self) -> str:
+        text = (f"{self.path}:{self.line}: {self.code} "
+                f"[{self.severity}] {self.message}")
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"code": self.code, "path": self.path, "line": self.line,
+                "message": self.message, "hint": self.hint,
+                "severity": self.severity}
+
+
+class ModuleInfo:
+    """One parsed source file plus everything rules ask about it."""
+
+    def __init__(self, path: str, display: str, source: str,
+                 tree: ast.Module):
+        self.path = path
+        self.display = display
+        self.basename = os.path.basename(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: line -> codes suppressed on that line (and the next).
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        #: (first, last, codes) spans from def/class-line suppressions.
+        self.span_suppressions: List[Tuple[int, int, Set[str]]] = []
+        #: lines carrying a suppression with no parenthesized reason.
+        self.reasonless: List[Tuple[int, str]] = []
+        #: import alias -> canonical dotted module/name, e.g.
+        #: ``{"np": "numpy", "now": "datetime.datetime.now"}``.
+        self.imports: Dict[str, str] = {}
+        self._scan_suppressions()
+        self._scan_imports()
+
+    # ------------------------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes = {code.strip() for code in match.group(1).split(",")}
+            reason = (match.group(2) or "").strip()
+            if not reason:
+                self.reasonless.append((lineno, match.group(1)))
+                continue  # a reasonless waiver waives nothing
+            self.line_suppressions.setdefault(lineno, set()).update(codes)
+        if not self.line_suppressions:
+            return
+        # A suppression on (or directly above) a def/class line covers
+        # the whole body -- the one-reason-per-construct form.
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                continue
+            codes: Set[str] = set()
+            codes |= self.line_suppressions.get(node.lineno, set())
+            codes |= self.line_suppressions.get(node.lineno - 1, set())
+            if codes:
+                self.span_suppressions.append(
+                    (node.lineno, node.end_lineno or node.lineno, codes))
+
+    def _scan_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname
+                                 or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports are project-internal
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    # ------------------------------------------------------------------
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Canonicalize a dotted call target through the import map.
+
+        ``datetime.now()`` after ``from datetime import datetime``
+        resolves to ``datetime.datetime.now``; unknown heads pass
+        through unchanged.
+        """
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def suppressed(self, code: str, line: int) -> bool:
+        if code == META_CODE:
+            return False
+        for lineno in (line, line - 1):
+            if code in self.line_suppressions.get(lineno, ()):
+                return True
+        for first, last, codes in self.span_suppressions:
+            if code in codes and first <= line <= last:
+                return True
+        return False
+
+
+class LintContext:
+    """What a checker sees: every module in scope plus the sink."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        self.diagnostics: List[Diagnostic] = []
+
+    def add(self, code: str, module: ModuleInfo, node,
+            message: str, hint: str = "",
+            severity: str = "error") -> None:
+        line = node if isinstance(node, int) else node.lineno
+        self.diagnostics.append(Diagnostic(
+            code=code, path=module.display, line=line,
+            message=message, hint=hint, severity=severity))
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by checkers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# file collection and the runner
+# ----------------------------------------------------------------------
+def iter_py_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` paths."""
+    found: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(os.path.abspath(path))
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in ("__pycache__",))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.add(os.path.abspath(
+                        os.path.join(dirpath, name)))
+    return sorted(found)
+
+
+def _display_path(path: str, root: Optional[str]) -> str:
+    if root is not None:
+        try:
+            rel = os.path.relpath(path, root)
+        except ValueError:  # different drive (windows)
+            return path
+        if not rel.startswith(".."):
+            return rel
+    return path
+
+
+def load_module(path: str, root: Optional[str] = None
+                ) -> Tuple[Optional[ModuleInfo], Optional[Diagnostic]]:
+    """Parse one file; a broken file is a diagnostic, not a crash."""
+    display = _display_path(path, root)
+    try:
+        with tokenize.open(path) as handle:  # honors coding cookies
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return None, Diagnostic(
+            code=META_CODE, path=display, line=int(line),
+            message=f"cannot lint this file: {exc}",
+            hint="fix the syntax/encoding error")
+    return ModuleInfo(path, display, source, tree), None
+
+
+def run_lint(paths: Sequence[str], root: Optional[str] = None,
+             checkers: Optional[Sequence] = None) -> List[Diagnostic]:
+    """Lint ``paths`` (files or directories) and return the findings.
+
+    Suppressions are applied here, after every checker has run; the
+    meta rule (:data:`META_CODE`) fires for unparsable files and for
+    suppressions that carry no reason, and cannot itself be waived.
+    """
+    if checkers is None:
+        from .checkers import ALL_CHECKERS
+        checkers = ALL_CHECKERS
+    if root is None:
+        root = os.getcwd()
+    modules: List[ModuleInfo] = []
+    meta: List[Diagnostic] = []
+    for path in iter_py_files(paths):
+        module, problem = load_module(path, root)
+        if problem is not None:
+            meta.append(problem)
+            continue
+        assert module is not None
+        modules.append(module)
+        for lineno, codes in module.reasonless:
+            meta.append(Diagnostic(
+                code=META_CODE, path=module.display, line=lineno,
+                message=f"suppression of {codes} has no reason",
+                hint="append one: # repro-lint: disable="
+                     f"{codes} (why this is safe)"))
+    ctx = LintContext(modules)
+    by_display = {module.display: module for module in modules}
+    for checker in sorted(checkers, key=lambda c: c.CODE):
+        checker.check(ctx)
+    kept: List[Diagnostic] = list(meta)
+    seen: Set[Diagnostic] = set(kept)
+    for diag in ctx.diagnostics:
+        module = by_display.get(diag.path)
+        if module is not None and module.suppressed(diag.code, diag.line):
+            continue
+        if diag in seen:  # nested defs can be visited twice
+            continue
+        seen.add(diag)
+        kept.append(diag)
+    kept.sort(key=lambda d: (d.path, d.line, d.code, d.message))
+    return kept

@@ -428,6 +428,7 @@ class DistJob:
     # ------------------------------------------------------------------
     # merge
     # ------------------------------------------------------------------
+    # repro-lint: disable=R003 (post-drain read; server already shut down)
     def _merge_circuit(self, index: int,
                        store: ArtifactStore) -> Dict[str, object]:
         """Replay one circuit's shard outcomes into a session report.
@@ -471,6 +472,7 @@ class DistJob:
             session.adopt_atpg(mode, stats)
         return session.report()
 
+    # repro-lint: disable=R003 (post-drain read; server already shut down)
     def merge(self, store: ArtifactStore,
               canonical: bool = False) -> Response:
         """Fold completed units into the final suite response envelope.

@@ -80,7 +80,21 @@ class WorkerLoop:
         #: this worker is still burning CPU on -- so failures are
         #: counted (and announced once per lease), never swallowed.
         self.heartbeat_errors = 0
+        #: Counted degrade paths (the R006 taxonomy): failures the loop
+        #: survives are tallied per short code -- ``io`` for transport
+        #: trouble -- so a drain summary can show what was absorbed
+        #: instead of the errors vanishing into a log nobody reads.
+        self.degrade_counts: Dict[str, int] = {}
         self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _degrade(self, code: str, message: str) -> None:
+        """Count a survivable failure and announce it (the counted
+        degrade path; every absorbed error must pass through here)."""
+        self.degrade_counts[code] = self.degrade_counts.get(code, 0) + 1
+        if self.announce is not None:
+            self.announce(
+                f"repro worker {self.worker_id}: [{code}] {message}")
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -113,11 +127,10 @@ class WorkerLoop:
                     self.heartbeat_errors += 1
                     if not warned:
                         warned = True
-                        if self.announce is not None:
-                            self.announce(
-                                f"repro worker {self.worker_id}: "
-                                f"heartbeat for unit {unit_id} failed "
-                                f"({exc}); lease may be reaped")
+                        self._degrade(
+                            "io",
+                            f"heartbeat for unit {unit_id} failed "
+                            f"({exc}); lease may be reaped")
 
         beater = threading.Thread(target=beat, daemon=True,
                                   name=f"repro-worker-beat-{unit_id}")
@@ -226,10 +239,14 @@ def run_worker(coordinator_url: str, jobs: int = 1,
             if announce is not None:
                 announce("repro worker: interrupted, draining")
         if announce is not None:
+            degraded = "".join(
+                f", {count} degraded [{code}]"
+                for code, count in sorted(loop.degrade_counts.items()))
             announce(f"repro worker: drained after "
                      f"{loop.units_completed} unit(s), "
                      f"{loop.units_failed} failed, "
-                     f"{loop.heartbeat_errors} heartbeat error(s)")
+                     f"{loop.heartbeat_errors} heartbeat error(s)"
+                     f"{degraded}")
         return 0
     ctx = multiprocessing.get_context()
     processes = [ctx.Process(target=_worker_process_main,

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import ONE, X, ZERO
@@ -72,6 +73,12 @@ HAVE_NUMPY = _np is not None
 #: compiled backend's classic 128.
 DEFAULT_NUMPY_WIDTH = 4096
 DEFAULT_BIGINT_WIDTH = 128
+
+#: Injection plans retained per simulator instance (LRU).  ATPG fault
+#: grading re-runs ``detected()`` over the same fault list for every
+#: candidate sequence, so a handful of batch plans covers the whole
+#: campaign; the cap only matters when callers stream arbitrary batches.
+PLAN_CACHE_CAP = 32
 
 #: Gate pins beyond a gate's fanin count are padded with the opcode's
 #: neutral row so one index matrix covers a whole mixed-fanin group.
@@ -241,6 +248,23 @@ class _BatchForces:
                     | set(pin_groups))
 
 
+class _NumpyPlan:
+    """Precompiled numpy injection tables for one fault batch.
+
+    Everything the numpy run loop needs that depends only on the
+    (circuit, fault-batch) pair and not on the input sequence: splice
+    tables, virtual-branch routing, batch-local fanin index overrides
+    and the packed-word constants.  All members are read-only during
+    evaluation -- the run loop only ever assigns *into* the plane
+    matrices it allocates per call -- which is what makes the plan safe
+    to cache on the simulator and reuse across ``detected()`` calls.
+    """
+
+    __slots__ = ("width", "words", "full_int", "fullw", "forces",
+                 "src_patch", "ff_patch", "tie_splices", "level_virt",
+                 "level_out", "f2_overrides", "n_virt")
+
+
 class ArrayFaultSimulator:
     """Whole-circuit array-kernel sequential fault simulator.
 
@@ -271,6 +295,12 @@ class ArrayFaultSimulator:
         self.width = width
         self.compiled = compile_circuit(circuit)
         self.array = array_form(circuit)
+        #: (node, pin, value)-keyed LRU of injection plans; see
+        #: :meth:`_plan_for`.  Hit/miss counters feed the benchmark's
+        #: ``inject_setup`` row and the cache tests.
+        self._plan_cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     def detected(self, sequence: Sequence[Dict[str, int]],
@@ -324,14 +354,42 @@ class ArrayFaultSimulator:
         return frames
 
     # ------------------------------------------------------------------
+    # injection-plan cache
+    # ------------------------------------------------------------------
+    def _plan_for(self, batch: List):
+        """The injection plan for one fault batch, LRU-cached.
+
+        ATPG fault grading calls :meth:`detected` once per candidate
+        sequence over the *same* fault list, so the batch slices -- and
+        therefore the splice tables, virtual-branch routing and fanin
+        overrides, which depend only on each fault's (node, pin, value)
+        identity -- repeat exactly.  Rebuilding them per call is pure
+        overhead; this returns the cached :class:`_NumpyPlan` (numpy
+        substrate) or :class:`_BatchForces` (bigint substrate) instead.
+        """
+        key = tuple((fault.node, fault.pin, fault.value)
+                    for fault in batch)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            self.plan_cache_hits += 1
+            return plan
+        self.plan_cache_misses += 1
+        plan = (self._build_plan_np(batch) if self.use_numpy
+                else _BatchForces(self.compiled, batch))
+        self._plan_cache[key] = plan
+        while len(self._plan_cache) > PLAN_CACHE_CAP:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    # ------------------------------------------------------------------
     # numpy substrate
     # ------------------------------------------------------------------
-    def _run_batch_np(self, sequence: Sequence[Dict[str, int]],
-                      batch: List, good_frames: List[List[int]]
-                      ) -> Set[int]:
+    def _build_plan_np(self, batch: List) -> _NumpyPlan:
         np = _np
         cc = self.compiled
         ac = self.array
+        plan = _NumpyPlan()
         width = len(batch)
         words = (width + 63) >> 6
         full_int = (1 << width) - 1
@@ -414,6 +472,39 @@ class ArrayFaultSimulator:
         level_out = {li: splice_table(entries)
                      for li, entries in out_by_level.items()}
 
+        plan.width = width
+        plan.words = words
+        plan.full_int = full_int
+        plan.fullw = fullw
+        plan.forces = forces
+        plan.src_patch = src_patch
+        plan.ff_patch = ff_patch
+        plan.tie_splices = [
+            (nid, to_words(z), to_words(o),
+             ~(_int_to_words(z | o, words)))
+            for nid, z, o in tie_hot]
+        plan.level_virt = level_virt
+        plan.level_out = level_out
+        plan.f2_overrides = f2_overrides
+        plan.n_virt = n_virt
+        return plan
+
+    def _run_batch_np(self, sequence: Sequence[Dict[str, int]],
+                      batch: List, good_frames: List[List[int]]
+                      ) -> Set[int]:
+        np = _np
+        cc = self.compiled
+        ac = self.array
+        plan = self._plan_for(batch)
+        words = plan.words
+        fullw = plan.fullw
+        src_patch = plan.src_patch
+        ff_patch = plan.ff_patch
+        level_virt = plan.level_virt
+        level_out = plan.level_out
+        f2_overrides = plan.f2_overrides
+        n_virt = plan.n_virt
+
         M0 = np.zeros((ac.rows + n_virt, words), dtype=np.uint64)
         M1 = np.zeros((ac.rows + n_virt, words), dtype=np.uint64)
         M0[ac.zero_row] = fullw
@@ -422,10 +513,7 @@ class ArrayFaultSimulator:
             M0[nid] = fullw
         for nid in ac.tie1:
             M1[nid] = fullw
-        for nid, z, o in tie_hot:
-            zw = to_words(z)
-            ow = to_words(o)
-            keep = ~(zw | ow)
+        for nid, zw, ow, keep in plan.tie_splices:
             M0[nid] = (M0[nid] & keep) | zw
             M1[nid] = (M1[nid] & keep) | ow
 
@@ -517,7 +605,7 @@ class ArrayFaultSimulator:
         ac = self.array
         width = len(batch)
         full = (1 << width) - 1
-        forces = _BatchForces(cc, batch)
+        forces = self._plan_for(batch)
         out_zero = forces.out_zero
         out_one = forces.out_one
         pin_groups = forces.pin_groups

@@ -1,0 +1,6 @@
+"""A clean neighbor, so the gate test shows the failure is attributed
+to the seeded file and not to the directory walk itself."""
+
+
+def double(values):
+    return [v * 2 for v in values]

@@ -1,0 +1,10 @@
+"""The seeded violation for the CI-gate test: a set iteration in a
+merge module.  `repro devtool lint --strict` over this directory must
+exit nonzero, proving the gate actually gates."""
+
+
+def merge_report(shards):
+    report = {}
+    for shard in {s.name for s in shards}:  # hash order
+        report[shard] = True
+    return report

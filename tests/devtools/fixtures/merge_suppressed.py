@@ -1,0 +1,21 @@
+"""Suppression fixture: one reasoned waiver (honored), one reasonless
+waiver (ignored AND flagged as R000), one def-line span waiver."""
+
+
+def merge_reasoned(a):
+    out = []
+    for key in set(a):  # repro-lint: disable=R002 (singleton set, order provably irrelevant)
+        out.append(key)
+    return out
+
+
+def merge_reasonless(a):
+    out = []
+    for key in set(a):  # repro-lint: disable=R002
+        out.append(key)
+    return out
+
+
+# repro-lint: disable=R002 (fixture: whole-function waiver form)
+def merge_span(a, b):
+    return [k for k in set(a) | set(b)]

@@ -1,0 +1,22 @@
+"""R001 positive fixture: wall clock + global random reachable from a
+canonical root (directly and through a helper)."""
+
+import random
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()
+
+
+def canonical_dict():
+    return {
+        "t": stamp(),
+        "now": datetime.now().isoformat(),
+        "r": jitter(),
+    }

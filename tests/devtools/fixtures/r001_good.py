@@ -1,0 +1,28 @@
+"""R001 negative fixture: monotonic timers and a seeded PRNG are both
+legal in canonical paths; wall clock outside the call graph is too."""
+
+import random
+import time
+
+
+def elapsed():
+    # perf_counter/monotonic feed volatile fields the canonicalizer
+    # zeroes -- explicitly allowed.
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0
+
+
+def shuffled(items):
+    rng = random.Random(42)  # seeded instance, not the global PRNG
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+def canonical_dict():
+    return {"elapsed": elapsed(), "order": shuffled([3, 1, 2])}
+
+
+def unrelated_logger():
+    # Wall clock is fine outside the canonical call graph.
+    return time.time()

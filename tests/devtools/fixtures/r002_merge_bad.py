@@ -1,0 +1,15 @@
+"""R002 positive fixture (basename says 'merge', so it is in scope):
+set iteration, set-typed locals, .values() and a set comprehension."""
+
+
+def merge_outcomes(a, b):
+    merged = []
+    for key in set(a) | set(b):  # hash order
+        merged.append(key)
+    pending = {1, 2, 3}
+    for item in pending:  # local assigned from a set literal
+        merged.append(item)
+    for value in a.values():  # key order hidden
+        merged.append(value)
+    doubled = [x for x in {v * 2 for v in b}]  # set comprehension source
+    return merged + doubled

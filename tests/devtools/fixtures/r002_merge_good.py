@@ -1,0 +1,13 @@
+"""R002 negative fixture: every iteration is sorted or list-ordered."""
+
+
+def merge_outcomes(a, b):
+    merged = []
+    for key in sorted(set(a) | set(b)):
+        merged.append(key)
+    for key in sorted(a):
+        merged.append(a[key])
+    ordered = [3, 1, 2]
+    for item in ordered:
+        merged.append(item)
+    return merged

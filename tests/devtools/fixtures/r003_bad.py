@@ -1,0 +1,28 @@
+"""R003 positive fixture: writes (error) and reads (warning) of
+lock-guarded state outside the lock, plus a nested-def thread body."""
+
+import threading
+
+
+class Racy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.table = {}
+        self.items = []
+
+    def unlocked_write(self, key):
+        self.hits += 1  # write outside the lock
+        self.table[key] = 1  # subscript store outside the lock
+        self.items.append(key)  # mutator call outside the lock
+
+    def unlocked_read(self):
+        return self.hits  # read outside the lock
+
+    def nested_thread(self):
+        def body():
+            with self._lock:
+                pass
+            self.hits += 1  # nested def: runs unlocked on a thread
+
+        return body

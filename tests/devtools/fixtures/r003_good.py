@@ -1,0 +1,29 @@
+"""R003 negative fixture: every access locked, plus the two structural
+exemptions (ctor-only helper, effectively-locked helper)."""
+
+import threading
+
+
+class Disciplined:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.table = {}
+        self._seed()  # ctor-only helper may touch state lock-free
+
+    def _seed(self):
+        self.table["init"] = 0
+
+    def record(self, key):
+        with self._lock:
+            self.hits += 1
+            self._store(key)
+
+    def _store(self, key):
+        # Only called under the lock (from record) -> effectively
+        # locked, no lexical with needed here.
+        self.table[key] = self.hits
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.table), self.hits

@@ -1,0 +1,15 @@
+"""R004 positive fixture: the manifest pins different fields at the
+same SCHEMA_VERSION (drift without a bump)."""
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class PingRequest:
+    KIND: ClassVar[str] = "ping"  # ClassVar: not a wire field
+    spec: str
+    config: Optional[dict]
+    retries: int  # new field the manifest has never seen

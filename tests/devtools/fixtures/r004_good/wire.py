@@ -1,0 +1,14 @@
+"""R004 negative fixture: fields and version match the manifest."""
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+SCHEMA_VERSION = 2
+
+
+@dataclass
+class PingRequest:
+    KIND: ClassVar[str] = "ping"
+    spec: str
+    config: Optional[dict]
+    retries: int

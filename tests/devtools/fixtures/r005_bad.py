@@ -1,0 +1,20 @@
+"""R005 positive fixture: unpicklable annotations, lambda default,
+and a unit class defined inside a function."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class LeakyTask:
+    name: str
+    callback: Callable[[int], int]  # callables do not pickle
+    fallback: object = field(default=lambda: 0)  # lambda default
+
+
+def make_unit():
+    @dataclass
+    class LocalUnit:  # pickle cannot resolve a local class
+        index: int
+
+    return LocalUnit

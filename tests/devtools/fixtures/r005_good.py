@@ -1,0 +1,17 @@
+"""R005 negative fixture: a plain-data unit, and a suffix-free class
+that may hold whatever it wants."""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CleanTask:
+    index: int
+    spec: str
+    modes: Tuple[str, ...]
+    extras: Optional[Dict[str, int]] = None
+
+
+class Dispatcher:  # not *Task/*Unit/*Shard/*Outcome: out of scope
+    handler = staticmethod(lambda x: x)

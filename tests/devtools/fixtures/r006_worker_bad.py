@@ -1,0 +1,25 @@
+"""R006 positive fixture (basename says 'worker'): bare except and a
+silent broad/narrow pass inside a service loop."""
+
+
+def serve(queue):
+    while True:
+        try:
+            queue.get()
+        except Exception:
+            pass  # broad + silent
+
+
+def drain(queue):
+    for item in queue:
+        try:
+            item.close()
+        except ValueError:
+            pass  # narrow but silent *inside a loop*
+
+
+def once():
+    try:
+        return 1
+    except:  # bare except
+        pass

@@ -1,0 +1,22 @@
+"""R006 negative fixture: counted degrade paths and a narrow silent
+pass outside any loop (signal-registration idiom)."""
+
+import signal
+
+errors = {"io": 0}
+
+
+def serve(queue, announce):
+    while True:
+        try:
+            queue.get()
+        except OSError as exc:
+            errors["io"] = errors["io"] + 1  # counted degrade path
+            announce(f"degraded: {exc}")
+
+
+def install_handlers(handler):
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except ValueError:
+        pass  # narrow, outside a loop: e.g. not the main thread

@@ -1,0 +1,66 @@
+"""CLI-level tests for ``repro devtool`` -- the exact invocations CI
+runs, via subprocess, so exit codes and output shape are pinned."""
+
+import json
+import os
+import subprocess
+import sys
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         "..", ".."))
+REPO_SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def run_devtool(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "devtool", *args],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+def test_ci_gate_fails_on_seeded_violation():
+    proc = run_devtool("lint", "--strict",
+                       os.path.join(FIXTURES, "ci_gate_repo"))
+    assert proc.returncode == 1
+    assert "merge_report.py" in proc.stdout
+    assert "R002" in proc.stdout
+    # The clean neighbor is not blamed.
+    assert "clean_util.py" not in proc.stdout
+
+
+def test_repo_package_passes_strict():
+    proc = run_devtool("lint", "--strict", REPO_SRC)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s), 0 warning(s)" in proc.stdout
+
+
+def test_json_output_is_machine_readable():
+    proc = run_devtool("lint", "--json",
+                       os.path.join(FIXTURES, "ci_gate_repo"))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert isinstance(payload, list) and payload
+    finding = payload[0]
+    assert finding["code"] == "R002"
+    assert finding["path"].endswith("merge_report.py")
+    assert finding["severity"] == "error"
+    assert finding["line"] >= 1 and finding["hint"]
+
+
+def test_manifest_check_matches_committed_file(tmp_path):
+    # Regenerating the manifest into a scratch copy must reproduce the
+    # committed bytes -- i.e. the committed manifest is current.
+    import shutil
+    api_dir = os.path.join(REPO_SRC, "api")
+    scratch = tmp_path / "api"
+    scratch.mkdir()
+    shutil.copy(os.path.join(api_dir, "requests.py"),
+                scratch / "requests.py")
+    proc = run_devtool("manifest", "--write", str(scratch))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    regenerated = (scratch / "schema_manifest.json").read_text()
+    with open(os.path.join(api_dir, "schema_manifest.json")) as handle:
+        committed = handle.read()
+    assert regenerated == committed

@@ -1,0 +1,168 @@
+"""Per-rule positive/negative fixture tests for repro.devtools.
+
+Every rule gets the same treatment: the *_bad fixture must produce the
+rule's diagnostics (at the expected anchors), the *_good fixture must
+produce none.  Suppression semantics (reasoned honored, reasonless
+flagged as R000, def-line span form) and the repo-clean invariant are
+covered at the end.
+"""
+
+import os
+
+import pytest
+
+from repro.devtools.core import run_lint
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "src", "repro")
+
+
+def lint(*names):
+    paths = [os.path.join(FIXTURES, name) for name in names]
+    return run_lint(paths, root=FIXTURES)
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+# ----------------------------------------------------------------------
+# R001 wall clock / global random in canonical paths
+# ----------------------------------------------------------------------
+def test_r001_bad_flags_clock_and_random():
+    diags = [d for d in lint("r001_bad.py") if d.code == "R001"]
+    messages = "\n".join(d.message for d in diags)
+    assert "time.time" in messages
+    assert "datetime.datetime.now" in messages
+    assert "unseeded global random" in messages
+    # Reached through the helper, attributed to the root.
+    assert "canonical_dict" in messages
+    assert all(d.severity == "error" for d in diags)
+
+
+def test_r001_good_is_clean():
+    assert lint("r001_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# R002 hash-ordered iteration in merge/serialization modules
+# ----------------------------------------------------------------------
+def test_r002_bad_flags_set_and_values_iteration():
+    diags = [d for d in lint("r002_merge_bad.py") if d.code == "R002"]
+    assert len(diags) >= 4  # set-op, set local, .values(), comprehension
+    messages = "\n".join(d.message for d in diags)
+    assert "set" in messages
+    assert ".values()" in messages
+
+
+def test_r002_good_is_clean():
+    assert lint("r002_merge_good.py") == []
+
+
+def test_r002_out_of_scope_module_is_ignored():
+    # Same bad code under a basename outside the merge/serialize tier.
+    import shutil
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        shutil.copy(os.path.join(FIXTURES, "r002_merge_bad.py"),
+                    os.path.join(tmp, "math_helpers.py"))
+        assert run_lint([tmp], root=tmp) == []
+
+
+# ----------------------------------------------------------------------
+# R003 lock discipline
+# ----------------------------------------------------------------------
+def test_r003_bad_writes_are_errors_reads_are_warnings():
+    diags = [d for d in lint("r003_bad.py") if d.code == "R003"]
+    writes = [d for d in diags if d.severity == "error"]
+    reads = [d for d in diags if d.severity == "warning"]
+    # unlocked_write: attribute +=, subscript store, mutator call.
+    assert len(writes) >= 4  # 3 in unlocked_write + 1 in nested def
+    assert any("unlocked_read" in d.message for d in reads)
+    # The nested thread body is scanned as unlocked even though a
+    # `with self._lock` appears lexically earlier inside it.
+    assert any("nested_thread" in d.message for d in writes)
+
+
+def test_r003_good_exemptions_hold():
+    # Locked methods, a ctor-only helper and an effectively-locked
+    # helper: no findings at all.
+    assert lint("r003_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# R004 schema drift
+# ----------------------------------------------------------------------
+def test_r004_drift_without_bump_is_flagged():
+    diags = [d for d in lint("r004_bad") if d.code == "R004"]
+    assert len(diags) == 1
+    assert "without a SCHEMA_VERSION bump" in diags[0].message
+
+
+def test_r004_matching_manifest_is_clean():
+    assert lint("r004_good") == []
+
+
+def test_r004_missing_manifest_is_flagged(tmp_path):
+    source = os.path.join(FIXTURES, "r004_good", "wire.py")
+    with open(source) as handle:
+        (tmp_path / "wire.py").write_text(handle.read())
+    diags = run_lint([str(tmp_path)], root=str(tmp_path))
+    assert [d.code for d in diags] == ["R004"]
+    assert "no committed" in diags[0].message
+
+
+# ----------------------------------------------------------------------
+# R005 picklability of task units
+# ----------------------------------------------------------------------
+def test_r005_bad_flags_callable_lambda_and_local_class():
+    diags = [d for d in lint("r005_bad.py") if d.code == "R005"]
+    messages = "\n".join(d.message for d in diags)
+    assert "Callable" in messages
+    assert "lambda" in messages
+    assert "not defined at module top level" in messages
+
+
+def test_r005_good_is_clean():
+    assert lint("r005_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# R006 error taxonomy
+# ----------------------------------------------------------------------
+def test_r006_bad_flags_bare_broad_and_loop_pass():
+    diags = [d for d in lint("r006_worker_bad.py") if d.code == "R006"]
+    messages = "\n".join(d.message for d in diags)
+    assert "bare `except:`" in messages
+    assert "broad exception silently passed" in messages
+    assert "service loop" in messages
+    assert len(diags) == 3
+
+
+def test_r006_good_counted_degrade_and_narrow_pass_are_clean():
+    assert lint("r006_worker_good.py") == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_suppressions_reasoned_honored_reasonless_flagged():
+    diags = lint("merge_suppressed.py")
+    # merge_reasoned and merge_span are waived; merge_reasonless keeps
+    # its R002 finding AND gains the R000 meta finding.
+    assert codes(diags) == ["R000", "R002"]
+    r000 = [d for d in diags if d.code == "R000"]
+    r002 = [d for d in diags if d.code == "R002"]
+    assert len(r000) == 1 and "no reason" in r000[0].message
+    assert len(r002) == 1
+    assert 12 <= r002[0].line <= 16  # inside merge_reasonless
+
+
+# ----------------------------------------------------------------------
+# the repo itself
+# ----------------------------------------------------------------------
+def test_repo_source_tree_is_lint_clean():
+    diags = run_lint([REPO_SRC],
+                     root=os.path.join(REPO_SRC, "..", ".."))
+    assert diags == [], "\n".join(d.format() for d in diags)

@@ -1,0 +1,46 @@
+"""Canonical suite envelopes must not depend on PYTHONHASHSEED.
+
+String hash randomization perturbs set iteration order and dict-from-
+set insertion order -- exactly what the R002 lint rule polices
+statically.  This test proves the property dynamically: the same
+``repro suite --canonical --json`` run under hash seed 0, 42 and
+"random" must produce byte-identical stdout.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         ".."))
+
+SUITE_ARGS = [
+    "suite", "figure1", "s27",
+    "--mode", "known",
+    "--backtrack-limit", "5",
+    "--max-frames", "3",
+    "--window", "5",
+    "--canonical", "--json",
+]
+
+
+def run_suite(hash_seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *SUITE_ARGS],
+        capture_output=True, env=env, timeout=300)
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+def test_canonical_suite_bytes_survive_hash_randomization():
+    baseline = run_suite("0")
+    assert baseline.strip(), "suite produced no output"
+    for seed in ("42", "random"):
+        assert run_suite(seed) == baseline, (
+            f"canonical suite bytes changed under "
+            f"PYTHONHASHSEED={seed}")

@@ -1,0 +1,94 @@
+"""N-thread hammer on ``/v1/execute``: the lock-discipline satellite.
+
+The R003 rule proves the server's shared counters are only touched
+under ``stats_lock`` *statically*; this test proves it dynamically --
+N threads x M requests each, and afterwards ``requests_served`` equals
+exactly N*M with ``requests_failed`` exactly the number of deliberate
+bad requests.  A torn ``+= 1`` shows up as a shortfall here.
+"""
+
+import http.client
+import json
+import threading
+from contextlib import closing, contextmanager
+
+from repro.api import ListRequest, make_server
+
+N_THREADS = 8
+M_REQUESTS = 25
+
+
+@contextmanager
+def running_server():
+    server = make_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def post(server, body: bytes):
+    host, port = server.server_address[:2]
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=60)) as conn:
+        conn.request("POST", "/v1/execute", body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, response.read()
+
+
+def test_counter_totals_exact_under_contention():
+    # `list` is the cheapest request: the hammer measures counter
+    # integrity, not simulator throughput.
+    good = json.dumps(ListRequest().to_dict()).encode()
+    statuses = []
+    lock = threading.Lock()
+
+    with running_server() as server:
+        def hammer():
+            mine = []
+            for _ in range(M_REQUESTS):
+                status, _body = post(server, good)
+                mine.append(status)
+            with lock:
+                statuses.extend(mine)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        health = server.health()
+
+    assert len(statuses) == N_THREADS * M_REQUESTS
+    assert all(status == 200 for status in statuses)
+    assert health["requests_served"] == N_THREADS * M_REQUESTS
+    assert health["requests_failed"] == 0
+
+
+def test_failed_requests_counted_exactly():
+    bad = b'{"kind": "no-such-kind", "v": 1}'
+    good = json.dumps(ListRequest().to_dict()).encode()
+
+    with running_server() as server:
+        def mix(n_bad, n_good):
+            for _ in range(n_bad):
+                post(server, bad)
+            for _ in range(n_good):
+                post(server, good)
+
+        threads = [threading.Thread(target=mix, args=(5, 5))
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        health = server.health()
+
+    assert health["requests_served"] == 4 * 10
+    assert health["requests_failed"] == 4 * 5
