@@ -55,7 +55,12 @@ __all__ = [
 #: Version 2 added the ``shard`` kind (distributed fault-list tier).
 #: Version 3 added the ``array`` value to ``config.atpg.sim_backend``
 #: (older servers would reject it, so clients must be able to gate).
-SCHEMA_VERSION = 3
+#: Version 4 added the width knobs (``config.atpg.sim_width``,
+#: ``config.learn.signature_width``,
+#: ``config.learn.single_node_batch_width``); configs carrying them are
+#: rejected by older servers, and every config digest changed because
+#: the canonical form materializes the new defaults.
+SCHEMA_VERSION = 4
 
 
 @dataclass

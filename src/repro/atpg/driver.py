@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 from ..circuit.netlist import Circuit
 from ..core.engine import LearnResult
 from ..core.ties import untestable_faults_from_ties
-from ..sim.compiled import make_fault_simulator
+from ..sim.resident import make_resident_dropper
 from .engine import SequentialATPG, TestResult, make_atpg
 from .faults import Fault, collapse_faults, collapse_with_classes
 
@@ -134,6 +134,7 @@ def run_atpg(circuit: Circuit, *,
              max_faults: Optional[int] = None,
              keep_sequences: bool = True,
              sim_backend: str = "compiled",
+             sim_width: Optional[int] = None,
              atpg_engine: str = "incremental",
              progress: Optional[Callable[[int, int], None]] = None,
              generate: Optional[Callable[[Fault], TestResult]] = None
@@ -153,7 +154,9 @@ def run_atpg(circuit: Circuit, *,
     circuits would otherwise hold every test in memory);
     :attr:`ATPGStats.sequences_total` counts them either way.
     ``sim_backend`` picks the fault-dropping simulator ('compiled',
-    'array' or 'reference'); ``atpg_engine`` picks the PODEM engine
+    'array' or 'reference') and ``sim_width`` its machine-batch width
+    (``None`` = backend default; packing never changes a detection
+    set); ``atpg_engine`` picks the PODEM engine
     ('incremental' or 'reference', see
     :func:`repro.atpg.engine.make_atpg`).  Counts, sequences and
     statistics are identical for every combination.
@@ -179,6 +182,7 @@ def run_atpg(circuit: Circuit, *,
         max_faults = config.max_faults
         keep_sequences = config.keep_sequences
         sim_backend = config.sim_backend
+        sim_width = getattr(config, "sim_width", sim_width)
         atpg_engine = getattr(config, "atpg_engine", atpg_engine)
     start = time.perf_counter()
     faults, classes = prepare_fault_list(circuit, faults=faults,
@@ -194,7 +198,6 @@ def run_atpg(circuit: Circuit, *,
                          mode=mode, backtrack_limit=backtrack_limit,
                          max_frames=max_frames)
         generate = atpg.generate
-    simulator = make_fault_simulator(circuit, backend=sim_backend)
     rng = random.Random(fill_seed)
     input_names = [circuit.nodes[i].name for i in circuit.inputs]
 
@@ -204,6 +207,13 @@ def run_atpg(circuit: Circuit, *,
         status[index] = "untestable"
     remaining: List[int] = [i for i in range(len(faults))
                             if i not in status]
+    # One resident dropper serves the whole loop: the array backend
+    # keeps its fault batches (and injection plans) alive across every
+    # generated sequence, compacting dropped columns in place instead
+    # of re-slicing + re-planning the shrinking subset per call.
+    dropper = make_resident_dropper(circuit, faults, remaining,
+                                    backend=sim_backend,
+                                    width=sim_width)
     targeted = 0
     for index in list(remaining):
         targeted += 1
@@ -220,18 +230,17 @@ def run_atpg(circuit: Circuit, *,
             if keep_sequences:
                 stats.sequences.append(sequence)
             status[index] = "detected"
-            # Drop everything else this sequence detects.
-            open_indices = [i for i in remaining if status.get(i) is None]
-            if open_indices:
-                subset = [faults[i] for i in open_indices]
-                for local in simulator.detected(sequence, subset):
-                    hit = open_indices[local]
-                    if status.get(hit) is None:
-                        status[hit] = "detected"
-                        if hit != index:
-                            stats.collateral += 1
+            dropper.discard(index)
+            # Drop everything else this sequence detects.  The dropper
+            # only ever reports live (status-None) faults, and the
+            # targeted fault was retired above, so every hit is a
+            # collateral detection.
+            for hit in dropper.drop(sequence):
+                status[hit] = "detected"
+                stats.collateral += 1
         else:
             status[index] = result.status
+            dropper.discard(index)
         if progress is not None:
             progress(targeted, len(remaining))
     for verdict in status.values():
@@ -296,6 +305,7 @@ def compare_modes(circuit: Circuit, learned: LearnResult, *,
                 keep_sequences=config.keep_sequences if config else True,
                 sim_backend=(config.sim_backend if config
                              else "compiled"),
+                sim_width=config.sim_width if config else None,
                 atpg_engine=(config.atpg_engine if config
                              else "incremental")))
     return rows

@@ -95,6 +95,7 @@ class Circuit:
         self.level: List[int] = []
         self._frozen = False
         self._tfo_cache: Dict[int, Tuple[int, ...]] = {}
+        self._fingerprint_cache: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -155,6 +156,7 @@ class Circuit:
         if not node.is_sequential:
             raise CircuitError(f"{node.name} is not sequential")
         node.fanins = [data]
+        self._fingerprint_cache = None
 
     def mark_output(self, nid: int) -> None:
         """Declare a node a primary output."""
@@ -162,6 +164,7 @@ class Circuit:
         if not node.is_output:
             node.is_output = True
             self.outputs.append(nid)
+            self._fingerprint_cache = None
 
     def _check_fanin_arity(self, node: Node) -> None:
         n = len(node.fanins)
@@ -196,6 +199,7 @@ class Circuit:
         self._levelize()
         self._frozen = True
         self._tfo_cache.clear()
+        self._fingerprint_cache = None
         return self
 
     def _levelize(self) -> None:
@@ -337,7 +341,16 @@ class Circuit:
         depends on -- but *not* the circuit's display name, so a renamed
         copy of the same netlist still matches.  Serialized learning
         artifacts are keyed to this hash and rejected when it changes.
+
+        Frozen circuits memoize the digest (it keys every per-circuit
+        cache on the hot simulation paths, and hashing a mid-size
+        netlist costs close to a millisecond); :meth:`freeze` and
+        :meth:`mark_output` invalidate it, the same contract as the
+        transitive-fanout cache.
         """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and self._frozen:
+            return cached
         hasher = hashlib.sha256()
         for node in self.nodes:
             parts = [node.name, node.gate_type.value,
@@ -348,7 +361,10 @@ class Circuit:
                           node.reset_kind, str(node.num_ports)]
             hasher.update("|".join(parts).encode())
             hasher.update(b"\n")
-        return hasher.hexdigest()
+        digest = hasher.hexdigest()
+        if self._frozen:
+            self._fingerprint_cache = digest
+        return digest
 
     def stats(self) -> Dict[str, int]:
         """Summary statistics used by reports and benches."""

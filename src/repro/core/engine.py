@@ -62,6 +62,19 @@ class LearnConfig:
     multi_node_max_targets: Optional[int] = None
     #: Random seed for equivalence patterns.
     seed: int = 20260611
+    #: Width of the random-pattern signatures behind equivalence
+    #: candidate identification.  ``None`` keeps
+    #: :attr:`equivalence_width` (the historical 256); e.g. 4096 runs
+    #: learning signatures at array word widths.  Part of the learned
+    #: config digest: a different width can bucket different candidate
+    #: pairs (results across *backends* are bit-identical at any fixed
+    #: width).
+    signature_width: Optional[int] = None
+    #: Machine-batch width of the batched single-node learning runs
+    #: (``None`` = the sim backend's default).  A pure packing knob:
+    #: machines are independent bit columns, so learned data never
+    #: depends on it.
+    single_node_batch_width: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON representation (inverse of :meth:`from_dict`)."""
@@ -166,8 +179,10 @@ class SequentialLearner:
     """Run the full learning flow on one circuit.
 
     ``sim_backend`` selects the pattern simulator behind equivalence
-    signatures ('reference' or 'compiled', see :mod:`repro.sim.compiled`);
-    learned knowledge is bit-identical either way.
+    signatures and the plane evaluator behind batched single-node runs
+    ('reference', 'compiled' or 'array', see :mod:`repro.sim.compiled`);
+    learned knowledge is bit-identical for every backend at a fixed
+    signature width.
     """
 
     def __init__(self, circuit: Circuit,
@@ -192,13 +207,18 @@ class SequentialLearner:
         t0 = time.perf_counter()
         for key, active in passes:
             simulator = FrameSimulator(circuit, active_ffs=active)
-            data = run_single_node(simulator, max_frames=cfg.max_frames)
+            data = run_single_node(
+                simulator, max_frames=cfg.max_frames,
+                backend=self.sim_backend,
+                batch_width=cfg.single_node_batch_width)
             single_data[key] = data
             extract_same_frame_relations(
                 data, db, store_gate_gate=cfg.store_gate_gate)
         if not passes:  # purely combinational circuit
             simulator = FrameSimulator(circuit)
-            data = run_single_node(simulator, max_frames=1)
+            data = run_single_node(simulator, max_frames=1,
+                                   backend=self.sim_backend,
+                                   batch_width=cfg.single_node_batch_width)
             single_data[("comb", 0, "none")] = data
             extract_same_frame_relations(
                 data, db, store_gate_gate=cfg.store_gate_gate)
@@ -216,7 +236,8 @@ class SequentialLearner:
         equivalences: Dict[int, Tuple[int, int]] = {}
         if cfg.use_equivalence:
             equivalences = find_equivalences(
-                circuit, ties, width=cfg.equivalence_width,
+                circuit, ties,
+                width=cfg.signature_width or cfg.equivalence_width,
                 max_support=cfg.equivalence_max_support,
                 rng=random.Random(cfg.seed),
                 backend=self.sim_backend)

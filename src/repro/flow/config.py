@@ -99,6 +99,12 @@ class ATPGConfig:
     #: (the original interpreters).  Results are bit-identical; the
     #: reference backend exists for differential testing and debugging.
     sim_backend: str = "compiled"
+    #: Machine-batch width of the fault-dropping simulator (one fault
+    #: machine per bit column; ``None`` = the backend's default, e.g.
+    #: 4096 on the numpy array substrate).  A pure packing knob:
+    #: detection sets -- and therefore every statistic -- never depend
+    #: on it, which the differential harness enforces.
+    sim_width: Optional[int] = None
     #: PODEM engine behind test generation: 'incremental' (event-driven
     #: window updates with trail-based backtracking, the default) or
     #: 'reference' (full window re-simulation per decision).  Results
@@ -125,6 +131,8 @@ class ATPGConfig:
             raise ConfigError("max_frames must be >= 1")
         if self.max_faults is not None and self.max_faults < 1:
             raise ConfigError("max_faults must be >= 1 or None")
+        if self.sim_width is not None and self.sim_width < 1:
+            raise ConfigError("sim_width must be >= 1 or None")
         return self
 
     def to_dict(self) -> Dict[str, object]:

@@ -120,9 +120,11 @@ def run_task(task: SuiteTask,
         if task.config.atpg.sim_backend in ("compiled", "array"):
             # Compile kernels before the pipeline hot loops rather than
             # inside the first stage that needs them (a pool worker's
-            # cache may start empty).  The array backend rides on the
-            # same lowering cache, so it warms the same way.
-            warm_cache(session.circuit)
+            # cache may start empty).  Passing the backend also warms
+            # the array lowering + resident pattern engine for array
+            # tasks instead of leaving them to the first stage.
+            warm_cache(session.circuit,
+                       backend=task.config.atpg.sim_backend)
         session.compare(list(task.modes))
         return SuiteTaskResult(index=task.index, report=session.report())
     except Exception as exc:

@@ -406,7 +406,8 @@ class PipelineSession:
         def grade() -> Dict[str, object]:
             faults = collapse_faults(circuit)
             simulator = make_fault_simulator(
-                circuit, backend=self.config.atpg.sim_backend)
+                circuit, width=self.config.atpg.sim_width,
+                backend=self.config.atpg.sim_backend)
             undetected = list(faults)
             for sequence in stats.sequences:
                 if not undetected:

@@ -4,7 +4,11 @@ from .array_backend import (
     HAVE_NUMPY,
     ArrayCircuit,
     ArrayFaultSimulator,
+    ArrayPatternEngine,
     array_form,
+    clear_pattern_cache,
+    pattern_cache_stats,
+    pattern_engine,
     simulate_patterns_array,
 )
 from .compiled import (
@@ -33,6 +37,11 @@ from .parallel import (
     signatures,
     simulate_patterns,
 )
+from .resident import (
+    ArrayResidentDropper,
+    SubsetResidentDropper,
+    make_resident_dropper,
+)
 from .values import (
     V0,
     V1,
@@ -45,7 +54,10 @@ from .values import (
 
 __all__ = [
     "HAVE_NUMPY", "ArrayCircuit", "ArrayFaultSimulator",
-    "array_form", "simulate_patterns_array",
+    "ArrayPatternEngine", "array_form", "clear_pattern_cache",
+    "pattern_cache_stats", "pattern_engine", "simulate_patterns_array",
+    "ArrayResidentDropper", "SubsetResidentDropper",
+    "make_resident_dropper",
     "SIM_BACKENDS", "CompiledCircuit", "CompiledFaultSimulator",
     "clear_compile_cache", "compile_cache_stats", "compile_circuit",
     "make_fault_simulator",

@@ -54,7 +54,9 @@ from .compiled import (
 )
 
 __all__ = ["HAVE_NUMPY", "ArrayCircuit", "ArrayFaultSimulator",
-           "array_form", "simulate_patterns_array"]
+           "ArrayPatternEngine", "array_form", "clear_pattern_cache",
+           "pattern_cache_stats", "pattern_engine",
+           "simulate_patterns_array"]
 
 try:
     if os.environ.get("REPRO_ARRAY_DISABLE_NUMPY"):
@@ -79,6 +81,13 @@ DEFAULT_BIGINT_WIDTH = 128
 #: candidate sequence, so a handful of batch plans covers the whole
 #: campaign; the cap only matters when callers stream arbitrary batches.
 PLAN_CACHE_CAP = 32
+
+#: Resident pattern engines retained per process, LRU by circuit
+#: fingerprint; see :func:`pattern_engine`.  A suite run touches a
+#: handful of circuits, the cap only matters for callers streaming
+#: arbitrary netlists.
+PATTERN_CACHE_CAP = 64
+
 
 #: Gate pins beyond a gate's fanin count are padded with the opcode's
 #: neutral row so one index matrix covers a whole mixed-fanin group.
@@ -492,10 +501,24 @@ class ArrayFaultSimulator:
     def _run_batch_np(self, sequence: Sequence[Dict[str, int]],
                       batch: List, good_frames: List[List[int]]
                       ) -> Set[int]:
+        return self._run_plan_np(sequence, self._plan_for(batch),
+                                 good_frames)
+
+    def _run_plan_np(self, sequence: Sequence[Dict[str, int]],
+                     plan: "_NumpyPlan", good_frames: List[List[int]],
+                     pre_det=None) -> Set[int]:
+        """Run one prebuilt injection plan over a sequence.
+
+        ``pre_det`` (a words-long uint64 row) pre-seeds the detection
+        mask: those machine columns are treated as already decided, so
+        they are never reported again and the all-detected early exit
+        fires as soon as every *other* machine has shown its fault.
+        This is the resident dropper's column compaction -- dropped
+        faults keep their column but cost nothing and cannot resurface.
+        """
         np = _np
         cc = self.compiled
         ac = self.array
-        plan = self._plan_for(batch)
         words = plan.words
         fullw = plan.fullw
         src_patch = plan.src_patch
@@ -524,7 +547,8 @@ class ArrayFaultSimulator:
             s0 = np.zeros((n_ffs, words), dtype=np.uint64)
             s1 = np.zeros((n_ffs, words), dtype=np.uint64)
         detected: Set[int] = set()
-        det = np.zeros(words, dtype=np.uint64)
+        det = (np.zeros(words, dtype=np.uint64) if pre_det is None
+               else pre_det.copy())
         for frame, vector in enumerate(sequence):
             get = vector.get
             for nid, name in cc.input_pairs:
@@ -601,11 +625,18 @@ class ArrayFaultSimulator:
     def _run_batch_int(self, sequence: Sequence[Dict[str, int]],
                        batch: List, good_frames: List[List[int]]
                        ) -> Set[int]:
+        return self._run_plan_int(sequence, self._plan_for(batch),
+                                  len(batch), good_frames)
+
+    def _run_plan_int(self, sequence: Sequence[Dict[str, int]],
+                      forces: "_BatchForces", width: int,
+                      good_frames: List[List[int]],
+                      pre_det: int = 0) -> Set[int]:
+        """Bigint twin of :meth:`_run_plan_np`; ``pre_det`` is the
+        packed mask of already-decided machine columns."""
         cc = self.compiled
         ac = self.array
-        width = len(batch)
         full = (1 << width) - 1
-        forces = self._plan_for(batch)
         out_zero = forces.out_zero
         out_one = forces.out_one
         pin_groups = forces.pin_groups
@@ -686,7 +717,7 @@ class ArrayFaultSimulator:
         s0 = [0] * len(cc.ffs)
         s1 = [0] * len(cc.ffs)
         detected: Set[int] = set()
-        detected_mask = 0
+        detected_mask = pre_det
         for frame, vector in enumerate(sequence):
             get = vector.get
             for nid, name in cc.input_pairs:
@@ -835,61 +866,190 @@ def _eval_group_int(g: _Group, m0: List[int], m1: List[int],
 # ----------------------------------------------------------------------
 # packed binary pattern simulation (learning signatures)
 # ----------------------------------------------------------------------
+class ArrayPatternEngine:
+    """Resident single-plane pattern evaluator for one circuit.
+
+    Owns everything :func:`simulate_patterns_array` used to rebuild per
+    call: the compiled form, the array lowering, the gate/source row
+    index vectors and a pool of value matrices keyed by word count.
+    Fetched through the fingerprint-keyed :func:`pattern_engine` LRU,
+    one engine serves every signature call for its circuit, so per-call
+    setup amortizes to zero and mask packing/unpacking runs as one
+    batched byte conversion instead of one bigint round-trip per node.
+
+    The buffer pool hands a matrix out under the engine lock and takes
+    it back afterwards; concurrent callers (the serve daemon threads)
+    simply allocate a second matrix, so reuse is an optimization, never
+    a correctness dependency.  Rows the evaluation reads are all
+    rewritten each call (sources, the one-pad, TIE1 rows, every gate
+    row) or are never written at all (the zero-pad and TIE0 rows stay
+    all-zero from allocation), which is what makes pooling sound.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.cc = compile_circuit(circuit)
+        self.ac = array_form(circuit)
+        self._lock = threading.Lock()
+        self._pool: Dict[int, object] = {}
+        if _np is not None:
+            self.src_rows = _np.asarray(self.cc.required_sources,
+                                        dtype=_np.intp)
+            self.gate_rows = _np.asarray(self.cc.gate_nids,
+                                         dtype=_np.intp)
+
+    # ------------------------------------------------------------------
+    def _take(self, words: int):
+        with self._lock:
+            V = self._pool.pop(words, None)
+        if V is None:
+            V = _np.zeros((self.ac.rows, words), dtype=_np.uint64)
+        return V
+
+    def _put(self, words: int, V) -> None:
+        with self._lock:
+            self._pool[words] = V
+
+    # ------------------------------------------------------------------
+    def simulate(self, source_masks: Dict[int, int],
+                 width: int) -> Dict[int, int]:
+        """Grouped numpy evaluation of one packed pattern set."""
+        np = _np
+        cc = self.cc
+        ac = self.ac
+        words = (width + 63) >> 6
+        full_int = (1 << width) - 1
+        wb = words * 8
+        # Batched mask packing: one bytes blob for every source row.
+        # The genexpr raises the contract KeyError on a missing source
+        # before any state is touched.
+        payload = b"".join(
+            (source_masks[nid] & full_int).to_bytes(wb, "little")
+            for nid in cc.required_sources)
+        V = self._take(words)
+        try:
+            fullw = _int_to_words(full_int, words)
+            V[ac.one_row] = fullw  # AND pad; zero pad rows stay 0
+            if payload:
+                V[self.src_rows] = np.frombuffer(
+                    payload, dtype="<u8").astype(
+                    np.uint64, copy=False).reshape(-1, words)
+            for nid in ac.tie1:
+                V[nid] = fullw
+            for groups in ac.levels:
+                for g in groups:
+                    op = g.op
+                    G = V[g.F2]
+                    if op in _AND_LIKE:
+                        acc = np.bitwise_and.reduce(G, axis=0)
+                        if op == OP_NAND:
+                            acc = fullw ^ acc
+                    elif op in _OR_LIKE:
+                        acc = np.bitwise_or.reduce(G, axis=0)
+                        if op == OP_NOR:
+                            acc = fullw ^ acc
+                    elif op == OP_NOT:
+                        acc = fullw ^ G[0]
+                    elif op == OP_BUF:
+                        acc = G[0]
+                    else:  # XOR / XNOR
+                        acc = np.bitwise_xor.reduce(G, axis=0)
+                        if op == OP_XNOR:
+                            acc = fullw ^ acc
+                    V[g.out] = acc
+            # Batched unpacking: one contiguous gather + tobytes for
+            # all gate rows, then a bytes slice per node.
+            raw = memoryview(V[self.gate_rows].astype(
+                "<u8", copy=False).tobytes())
+            masks = dict(source_masks)
+            for k, nid in enumerate(cc.gate_nids):
+                masks[nid] = int.from_bytes(
+                    raw[k * wb:(k + 1) * wb], "little")
+            return masks
+        finally:
+            self._put(words, V)
+
+
+_PATTERN_LOCK = threading.Lock()
+_PATTERN_CACHE: "OrderedDict[str, ArrayPatternEngine]" = OrderedDict()
+_PATTERN_HITS = 0
+_PATTERN_MISSES = 0
+
+
+def pattern_engine(circuit: Circuit) -> ArrayPatternEngine:
+    """Fetch (or build) the resident pattern engine for a circuit.
+
+    Keyed by :meth:`~repro.circuit.netlist.Circuit.fingerprint` -- the
+    same keying as the compiled-kernel LRU -- with hit/miss counters
+    mirroring :meth:`ArrayFaultSimulator._plan_for`, surfaced through
+    :func:`pattern_cache_stats`.  Requires the numpy substrate.
+    """
+    global _PATTERN_HITS, _PATTERN_MISSES
+    if _np is None:
+        raise ValueError("pattern_engine requires the numpy substrate")
+    key = circuit.fingerprint()
+    with _PATTERN_LOCK:
+        engine = _PATTERN_CACHE.get(key)
+        if engine is not None:
+            _PATTERN_CACHE.move_to_end(key)
+            _PATTERN_HITS += 1
+            return engine
+        _PATTERN_MISSES += 1
+        engine = ArrayPatternEngine(circuit)
+        _PATTERN_CACHE[key] = engine
+        while len(_PATTERN_CACHE) > PATTERN_CACHE_CAP:
+            _PATTERN_CACHE.popitem(last=False)
+        return engine
+
+
+def pattern_cache_stats() -> Dict[str, int]:
+    """Counters of the resident pattern-engine LRU."""
+    with _PATTERN_LOCK:
+        return {"entries": len(_PATTERN_CACHE), "hits": _PATTERN_HITS,
+                "misses": _PATTERN_MISSES, "cap": PATTERN_CACHE_CAP}
+
+
+def clear_pattern_cache() -> None:
+    """Drop resident pattern engines and reset the counters (tests)."""
+    global _PATTERN_HITS, _PATTERN_MISSES
+    with _PATTERN_LOCK:
+        _PATTERN_CACHE.clear()
+        _PATTERN_HITS = 0
+        _PATTERN_MISSES = 0
+
+
 def simulate_patterns_array(circuit: Circuit,
                             source_masks: Dict[int, int],
                             width: int,
-                            use_numpy: Optional[bool] = None
+                            use_numpy: Optional[bool] = None,
+                            grouped: bool = False
                             ) -> Dict[int, int]:
-    """Whole-level packed pattern evaluation, one array op per group.
+    """Packed pattern evaluation through the resident array engine.
 
     Drop-in for :func:`repro.sim.parallel.simulate_patterns` (identical
-    masks, identical ``KeyError`` on a missing source).  Without numpy
-    this delegates to the compiled straight-line kernels -- the bigint
-    substrate has no cross-gate vectorization to offer on this
-    single-plane path, and the compiled kernels are already exact.
+    masks, identical ``KeyError`` on a missing source).  On the
+    single-plane pattern workload the compiled straight-line kernels
+    are the fastest substrate at *every* measured width -- the grouped
+    matrix path's per-level gathers copy ``max_fanin * gates * words``
+    words, so it scales worse with width, not better -- and the default
+    route therefore always runs them, with the resident engine and the
+    memoized fingerprint amortizing the lowering/setup that used to
+    dominate narrow calls.  ``grouped=True`` forces the level-grouped
+    numpy evaluation (the differential parity leg; bit-identical).
+    Without numpy everything delegates to the compiled kernels (the
+    bigint substrate has no cross-gate vectorization to offer here),
+    and ``grouped=True`` is an error there.
     """
     if use_numpy is None:
         use_numpy = HAVE_NUMPY
     elif use_numpy and not HAVE_NUMPY:
         raise ValueError("use_numpy=True but numpy is not importable")
-    cc = compile_circuit(circuit)
     if not use_numpy:
-        return cc.simulate_patterns(source_masks, width)
-    np = _np
-    ac = array_form(circuit)
-    words = (width + 63) >> 6
-    full_int = (1 << width) - 1
-    fullw = _int_to_words(full_int, words)
-    V = np.zeros((ac.rows, words), dtype=np.uint64)
-    V[ac.one_row] = fullw  # AND pad; zero_row stays 0 for OR/XOR pads
-    for nid in cc.required_sources:
-        V[nid] = _int_to_words(source_masks[nid] & full_int, words)
-    for nid in ac.tie1:
-        V[nid] = fullw
-    for groups in ac.levels:
-        for g in groups:
-            op = g.op
-            F = g.fanin
-            if op in _AND_LIKE:
-                acc = V[F[0]]
-                for j in range(1, g.max_fanin):
-                    acc = acc & V[F[j]]
-                V[g.out] = (fullw ^ acc) if op == OP_NAND else acc
-            elif op in _OR_LIKE:
-                acc = V[F[0]]
-                for j in range(1, g.max_fanin):
-                    acc = acc | V[F[j]]
-                V[g.out] = (fullw ^ acc) if op == OP_NOR else acc
-            elif op == OP_NOT:
-                V[g.out] = fullw ^ V[F[0]]
-            elif op == OP_BUF:
-                V[g.out] = V[F[0]]
-            else:  # XOR / XNOR
-                acc = V[F[0]]
-                for j in range(1, g.max_fanin):
-                    acc = acc ^ V[F[j]]
-                V[g.out] = (fullw ^ acc) if op == OP_XNOR else acc
-    masks = dict(source_masks)
-    for nid in cc.gate_nids:
-        masks[nid] = _words_to_int(V[nid])
-    return masks
+        if grouped:
+            raise ValueError(
+                "grouped=True requires the numpy substrate")
+        return compile_circuit(circuit).simulate_patterns(
+            source_masks, width)
+    engine = pattern_engine(circuit)
+    if not grouped:
+        return engine.cc.simulate_patterns(source_masks, width)
+    return engine.simulate(source_masks, width)

@@ -349,7 +349,8 @@ def clear_compile_cache() -> None:
         _CACHE_MISSES = 0
 
 
-def warm_cache(circuit: Circuit) -> CompiledCircuit:
+def warm_cache(circuit: Circuit, backend: str = "compiled"
+               ) -> CompiledCircuit:
     """Pre-compile ``circuit``'s kernels in *this* process.
 
     The lowering cache is plain module state and therefore per-process:
@@ -360,8 +361,20 @@ def warm_cache(circuit: Circuit) -> CompiledCircuit:
     once per assigned circuit so compilation happens up front rather
     than inside the first pipeline stage; in an already-warm process it
     is a cache hit and free.
+
+    ``backend='array'`` additionally builds the array lowering and the
+    resident pattern engine (on the numpy substrate), so array suite
+    workers don't pay the grouped lowering inside their first stage
+    either; every other backend value just warms the compiled kernels
+    the array backend sits on anyway.
     """
-    return compile_circuit(circuit)
+    cc = compile_circuit(circuit)
+    if backend == "array":
+        from . import array_backend
+        array_backend.array_form(circuit)
+        if array_backend.HAVE_NUMPY:
+            array_backend.pattern_engine(circuit)
+    return cc
 
 
 # ----------------------------------------------------------------------

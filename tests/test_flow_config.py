@@ -17,6 +17,8 @@ def test_atpg_config_defaults_valid():
     {"backtrack_limit": 0},
     {"max_frames": 0},
     {"max_faults": 0},
+    {"sim_width": 0},
+    {"sim_width": -4},
 ])
 def test_atpg_config_rejects_bad_values(kwargs):
     with pytest.raises(ConfigError):
@@ -25,9 +27,29 @@ def test_atpg_config_rejects_bad_values(kwargs):
 
 def test_atpg_config_round_trip():
     config = ATPGConfig(mode="known", backtrack_limit=99, max_frames=4,
-                        max_faults=7, fill_seed=1, keep_sequences=True)
+                        max_faults=7, fill_seed=1, keep_sequences=True,
+                        sim_width=4096)
     rebuilt = ATPGConfig.from_dict(config.to_dict())
     assert rebuilt == config
+
+
+def test_sim_width_is_a_pure_packing_knob():
+    """Two configs differing only in ``sim_width`` hash differently
+    (the digest walks every field) but both validate; ``None`` stays
+    the default."""
+    assert ATPGConfig().sim_width is None
+    a = ATPGConfig(sim_width=7).validate()
+    b = ATPGConfig(sim_width=4096).validate()
+    assert a.config_digest() != b.config_digest()
+
+
+def test_learn_config_width_knobs_round_trip():
+    config = LearnConfig(signature_width=4096,
+                         single_node_batch_width=256)
+    rebuilt = LearnConfig.from_dict(config.to_dict())
+    assert rebuilt == config
+    assert LearnConfig().signature_width is None
+    assert LearnConfig().single_node_batch_width is None
 
 
 def test_atpg_config_rejects_unknown_keys():
