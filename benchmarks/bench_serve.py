@@ -1,0 +1,343 @@
+"""Serve-tier benchmark: throughput, tail latency, cancellation.
+
+Boots a real daemon (in-process, HTTP over loopback) and measures the
+three production claims of the serve tier:
+
+1. **Throughput** -- sustained mixed req/s from N interactive clients.
+2. **Admission** -- with the batch queue saturated, interactive p99
+   stays bounded (the weighted scheduler's whole point).
+3. **Cancellation** -- a deadline-capped and an explicitly-cancelled
+   run of a multi-second ATPG search both stop early, observable in
+   ``/v1/metrics`` cancellation counters.
+
+Also re-checks the headline streaming contract: the NDJSON terminal
+envelope is byte-identical to a one-shot ``execute``.  Results land in
+``BENCH_serve.json`` (checked in at the repo root so the trajectory is
+tracked over PRs).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --tiny    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from contextlib import closing
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import execute, make_server
+from repro.flow import write_json_atomic
+from repro.serve.metrics import histogram_quantile
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_serve.json")
+
+#: Small fast circuit: the interactive workload.
+INTERACTIVE_BODY = {
+    "kind": "atpg", "spec": "s27", "modes": ["known"],
+    "config": {"learn": {"max_frames": 5},
+               "atpg": {"backtrack_limit": 5, "max_frames": 3}},
+    "canonical": True, "priority": "interactive",
+}
+
+#: Profile-sampled circuit whose ATPG run takes whole seconds: the
+#: batch flood and the cancellation legs.
+SLOW_SPEC = "like:s382@0.5"
+BATCH_SPEC_FULL = "like:s382@0.3"
+BATCH_SPEC_TINY = "figure1"
+
+
+def batch_body(tiny: bool) -> dict:
+    body = dict(INTERACTIVE_BODY)
+    body["spec"] = BATCH_SPEC_TINY if tiny else BATCH_SPEC_FULL
+    body["priority"] = "batch"
+    if not tiny:
+        body.pop("config")  # full engine budget: a real batch job
+    return body
+
+
+def post(address, body: dict, path="/v1/execute", headers=None,
+         timeout=300):
+    host, port = address
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=timeout)) as conn:
+        conn.request("POST", path, body=json.dumps(body).encode(),
+                     headers={"Content-Type": "application/json",
+                              **(headers or {})})
+        response = conn.getresponse()
+        return response.status, response.read()
+
+
+def percentile(samples, q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def run_clients(address, body, n_clients: int, duration_s: float):
+    """N closed-loop clients for a fixed window; returns latencies."""
+    latencies = []
+    lock = threading.Lock()
+    stop_at = time.perf_counter() + duration_s
+
+    def loop():
+        mine = []
+        while time.perf_counter() < stop_at:
+            t0 = time.perf_counter()
+            status, _ = post(address, body)
+            if status == 200:
+                mine.append(time.perf_counter() - t0)
+        with lock:
+            latencies.extend(mine)
+
+    threads = [threading.Thread(target=loop) for _ in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies
+
+
+def saturation_phase(server, address, tiny: bool, duration_s: float):
+    """Flood batch, probe interactive.
+
+    Returns (probe latencies, batch flood latencies, queue peak).
+    The flood latencies include queue wait -- the counterfactual an
+    interactive request would suffer without the weighted scheduler.
+    """
+    stop = threading.Event()
+    batch_latencies = []
+    lock = threading.Lock()
+    flood_body = batch_body(tiny)
+
+    def flood():
+        mine = []
+        while not stop.is_set():
+            t0 = time.perf_counter()
+            status, _ = post(address, flood_body)
+            if status == 200:
+                mine.append(time.perf_counter() - t0)
+        with lock:
+            batch_latencies.extend(mine)
+
+    peak = [0]
+
+    def sample_depths():
+        while not stop.is_set():
+            peak[0] = max(peak[0], server.admission.depths()["batch"])
+            time.sleep(0.05)
+
+    floods = [threading.Thread(target=flood) for _ in range(6)]
+    sampler = threading.Thread(target=sample_depths)
+    for thread in floods + [sampler]:
+        thread.start()
+
+    probe_latencies = run_clients(address, INTERACTIVE_BODY, 2,
+                                  duration_s)
+    stop.set()
+    for thread in floods + [sampler]:
+        thread.join(timeout=600)
+    return probe_latencies, batch_latencies, peak[0]
+
+
+def stream_identity_check(address) -> bool:
+    """One streamed envelope vs the one-shot reference, byte for byte."""
+    body = dict(INTERACTIVE_BODY)
+    reference = execute(dict(body)).to_json().encode()
+    host, port = address
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=300)) as conn:
+        conn.request("POST", "/v1/stream", body=json.dumps(body).encode(),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        while True:
+            record = json.loads(response.readline())
+            if record.get("event") == "result":
+                envelope = b""
+                while len(envelope) < record["bytes"]:
+                    envelope += response.read(
+                        record["bytes"] - len(envelope))
+                return envelope == reference
+
+
+def cancellation_phase(server, address, tiny: bool):
+    """Deadline-capped + explicitly-cancelled runs of the slow spec."""
+    slow = {"kind": "atpg", "spec": SLOW_SPEC, "modes": ["known"],
+            "canonical": True}
+    out = {}
+    if not tiny:
+        t0 = time.perf_counter()
+        status, _ = post(address, slow)
+        out["full_run_s"] = round(time.perf_counter() - t0, 3)
+
+    deadline = dict(slow)
+    deadline["deadline_s"] = 0.5
+    t0 = time.perf_counter()
+    status, raw = post(address, deadline)
+    out["deadline_run_s"] = round(time.perf_counter() - t0, 3)
+    out["deadline_status"] = status
+    out["deadline_code"] = json.loads(raw)["error"]["code"]
+
+    cancel_me = dict(slow)
+    cancel_me["request_id"] = "bench-cancel"
+    host, port = address
+    t0 = time.perf_counter()
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=300)) as conn:
+        conn.request("POST", "/v1/stream",
+                     body=json.dumps(cancel_me).encode(),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        response.readline()  # the run is live
+        post(address, {"request_id": "bench-cancel"}, path="/v1/cancel")
+        while True:
+            record = json.loads(response.readline())
+            if record.get("event") == "result":
+                envelope = b""
+                while len(envelope) < record["bytes"]:
+                    envelope += response.read(
+                        record["bytes"] - len(envelope))
+                break
+    out["cancel_run_s"] = round(time.perf_counter() - t0, 3)
+    out["cancel_code"] = json.loads(envelope)["error"]["code"]
+
+    # Counters land in the handler's ``finally`` a beat after the
+    # terminal bytes; wait for both legs before scraping.
+    settle_at = time.perf_counter() + 5
+    while True:
+        counters = server.metrics.to_dict()["counters"]
+        out["cancellations"] = {
+            key: value for key, value in counters.items()
+            if key.startswith("cancellations_total")}
+        if sum(out["cancellations"].values()) >= 2 \
+                or time.perf_counter() > settle_at:
+            return out
+        time.sleep(0.02)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="short windows / small circuits (CI smoke)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="interactive client thread count")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds per load window")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    duration = args.duration if args.duration is not None \
+        else (1.5 if args.tiny else 6.0)
+    server = make_server(port=0, max_active=2, queue_depth=32)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    address = server.server_address[:2]
+    try:
+        # Warm the artifact store + kernel cache out of the window.
+        post(address, INTERACTIVE_BODY)
+        post(address, batch_body(args.tiny))
+
+        latencies = run_clients(address, INTERACTIVE_BODY,
+                                args.clients, duration)
+        throughput = round(len(latencies) / duration, 1)
+
+        probe_lat, batch_lat, batch_peak = saturation_phase(
+            server, address, args.tiny, duration)
+
+        identical = stream_identity_check(address)
+        cancel = cancellation_phase(server, address, args.tiny)
+
+        snapshot = server.metrics.histogram_snapshot(
+            "request_latency_s", {"kind": "atpg"})
+        server_p99 = histogram_quantile(snapshot["bounds"],
+                                        snapshot["counts"], 0.99)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    cpu_count = os.cpu_count() or 1
+    gate_active = not args.tiny and cpu_count > 1
+    interactive_p99 = round(percentile(probe_lat, 0.99), 3)
+    batch_mean = round(sum(batch_lat) / len(batch_lat), 3) \
+        if batch_lat else 0.0
+    payload = {
+        "format": "repro/bench-serve",
+        "version": 1,
+        "tiny": args.tiny,
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "clients": args.clients,
+        "window_s": duration,
+        "interactive_rps": throughput,
+        "interactive_p50_s": round(percentile(latencies, 0.5), 3),
+        "interactive_p99_s": round(percentile(latencies, 0.99), 3),
+        "saturated_probe_count": len(probe_lat),
+        "saturated_interactive_p50_s":
+            round(percentile(probe_lat, 0.5), 3),
+        "saturated_interactive_p99_s": interactive_p99,
+        "batch_queue_peak": batch_peak,
+        "batch_completed": len(batch_lat),
+        "batch_mean_latency_s": batch_mean,
+        "server_histogram_p99_s": server_p99,
+        "stream_identical": identical,
+        "cancellation": cancel,
+        "latency_gate": ("enforced" if gate_active else "waived"),
+    }
+    if not gate_active:
+        payload["note"] = (
+            "tiny workload or single-core host: saturation and "
+            "cancellation-savings gates apply on multicore machines "
+            "(CI enforces them)")
+    write_json_atomic(args.out, payload)
+
+    print(f"{throughput} interactive req/s ({args.clients} clients); "
+          f"saturated p99 {interactive_p99}s "
+          f"(batch queue peak {batch_peak}); "
+          f"stream identical={identical}")
+    print(f"cancellation: {cancel}")
+    print(f"wrote {os.path.abspath(args.out)}")
+
+    if not identical:
+        print("FAIL: streamed envelope differs from one-shot",
+              file=sys.stderr)
+        return 1
+    if cancel["deadline_code"] != "deadline" \
+            or cancel["cancel_code"] != "cancelled":
+        print("FAIL: cancellation legs did not cut the runs short",
+              file=sys.stderr)
+        return 1
+    if gate_active:
+        if batch_peak < 2:
+            print("FAIL: batch queue never saturated "
+                  f"(peak {batch_peak})", file=sys.stderr)
+            return 1
+        if interactive_p99 >= batch_mean:
+            # Without the weighted scheduler an interactive request
+            # waits behind the whole batch backlog; with it, its p99
+            # must undercut even the *mean* saturated batch latency.
+            print("FAIL: saturated interactive p99 not bounded "
+                  f"({interactive_p99}s >= batch mean "
+                  f"{batch_mean}s)", file=sys.stderr)
+            return 1
+        if cancel["deadline_run_s"] >= cancel["full_run_s"] / 2:
+            print("FAIL: deadline did not cut the slow run short",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

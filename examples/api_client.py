@@ -10,6 +10,11 @@ Three acts:
 3. **Over HTTP**: spin up the ``repro serve`` daemon in-process, fire
    concurrent mixed requests at it, and verify the responses are
    byte-identical to one-shot runs.
+4. **Streaming + cancel**: follow a request's event stream live over
+   ``POST /v1/stream``, slice the byte-identical terminal envelope out
+   of the NDJSON framing, then cancel a second request mid-run with
+   ``POST /v1/cancel`` and watch the cancellation land in
+   ``GET /v1/metrics``.
 
 Run with::
 
@@ -123,7 +128,86 @@ def act_three_daemon() -> None:
     assert identical
 
 
+def act_four_streaming_and_cancel() -> None:
+    print("\n=== 4. streaming + cancel: /v1/stream, /v1/cancel ===")
+    server = make_server(port=0, store=ArtifactStore())
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+
+    # --- follow a run live; the stream ends with the exact envelope
+    # bytes a one-shot POST /v1/execute would have returned.
+    request = ATPGRequest(spec="s27", config=CONFIG, modes=("known",),
+                          canonical=True)
+    reference = execute(request).to_json().encode()
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=120)) as conn:
+        conn.request("POST", "/v1/stream",
+                     body=request.to_canonical_json(),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        print(f"  stream: {response.getheader('Content-Type')} "
+              f"request {response.getheader('X-Request-Id')}")
+        while True:
+            record = json.loads(response.readline())
+            if record.get("event") == "result":
+                # Two-part terminal: a byte-count frame, then the raw
+                # envelope -- byte identity survives streaming.
+                envelope = b""
+                while len(envelope) < record["bytes"]:
+                    envelope += response.read(
+                        record["bytes"] - len(envelope))
+                break
+            if record["event"] == "stage":
+                print(f"  event: stage {record['stage']} done")
+    print(f"  terminal envelope byte-identical to one-shot: "
+          f"{envelope == reference}")
+
+    # --- cancel a run mid-flight by its client-chosen request id.
+    slow = {"kind": "atpg", "spec": "like:s382@0.5",
+            "modes": ["known"], "canonical": True,
+            "request_id": "demo-cancel"}
+    stream_conn = http.client.HTTPConnection(host, port, timeout=120)
+    stream_conn.request("POST", "/v1/stream", body=json.dumps(slow),
+                        headers={"Content-Type": "application/json"})
+    stream = stream_conn.getresponse()
+    stream.readline()  # first event: the run is live
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=60)) as conn:
+        conn.request("POST", "/v1/cancel",
+                     body=json.dumps({"request_id": "demo-cancel"}))
+        verdict = json.loads(conn.getresponse().read())
+    print(f"  POST /v1/cancel -> cancelled={verdict['cancelled']}")
+    while True:
+        record = json.loads(stream.readline())
+        if record.get("event") == "result":
+            envelope = b""
+            while len(envelope) < record["bytes"]:
+                envelope += stream.read(record["bytes"] - len(envelope))
+            break
+    stream_conn.close()
+    error = json.loads(envelope)["error"]
+    print(f"  terminal envelope: code={error['code']} "
+          f"stage={error['stage']}")
+
+    for _ in range(100):  # cancellation counters land a beat later
+        if server.metrics.counter_total("cancellations_total"):
+            break
+        threading.Event().wait(0.02)
+    with closing(http.client.HTTPConnection(host, port,
+                                            timeout=60)) as conn:
+        conn.request("GET", "/v1/metrics")
+        metrics = json.loads(conn.getresponse().read())
+    cancels = {key: value
+               for key, value in metrics["metrics"]["counters"].items()
+               if key.startswith("cancellations_total")}
+    print(f"  /v1/metrics: {cancels}")
+    server.shutdown()
+    server.server_close()
+    assert envelope and error["code"] == "cancelled"
+
+
 if __name__ == "__main__":
     act_one_in_process()
     act_two_wire_form()
     act_three_daemon()
+    act_four_streaming_and_cancel()

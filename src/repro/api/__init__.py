@@ -35,9 +35,13 @@ deliberate, reviewed events.
 
 from .errors import (
     ArtifactFailure,
+    CancelledFailure,
     ConfigurationError,
+    DeadlineExceeded,
     EngineError,
     IOFailure,
+    OverloadFailure,
+    PayloadTooLarge,
     ReproError,
     RequestError,
     ResolveError,
@@ -53,6 +57,7 @@ from .events import (
 from .executor import Response, execute
 from .planner import Plan, TaskNode, plan_request
 from .requests import (
+    PRIORITY_CLASSES,
     REQUEST_KINDS,
     SCHEMA_VERSION,
     ATPGRequest,
@@ -72,7 +77,7 @@ from .store import ArtifactStore, learn_digest
 
 __all__ = [
     # versioning
-    "SCHEMA_VERSION",
+    "SCHEMA_VERSION", "PRIORITY_CLASSES",
     # requests
     "Request", "LearnRequest", "UntestableRequest", "ATPGRequest",
     "FaultSimRequest", "SuiteRequest", "ShardRequest", "CompareRequest",
@@ -86,7 +91,9 @@ __all__ = [
     "ArtifactStore", "learn_digest",
     # errors
     "ReproError", "RequestError", "ConfigurationError", "ResolveError",
-    "ArtifactFailure", "IOFailure", "EngineError", "classify_error",
+    "ArtifactFailure", "IOFailure", "EngineError", "PayloadTooLarge",
+    "OverloadFailure", "DeadlineExceeded", "CancelledFailure",
+    "classify_error",
     # server
     "make_server", "serve",
 ]

@@ -22,8 +22,9 @@ from typing import Dict, Optional
 
 __all__ = [
     "ReproError", "RequestError", "ConfigurationError", "ResolveError",
-    "ArtifactFailure", "IOFailure", "EngineError", "classify_error",
-    "HTTP_STATUS_BY_CODE",
+    "ArtifactFailure", "IOFailure", "EngineError", "PayloadTooLarge",
+    "OverloadFailure", "DeadlineExceeded", "CancelledFailure",
+    "classify_error", "HTTP_STATUS_BY_CODE",
 ]
 
 
@@ -96,11 +97,58 @@ class EngineError(ReproError):
     http_status = 500
 
 
+class PayloadTooLarge(ReproError):
+    """A request body exceeding the daemon's byte cap."""
+
+    code = "too_large"
+    http_status = 413
+
+
+class OverloadFailure(ReproError):
+    """The daemon's admission queue is full: explicit backpressure.
+
+    ``retry_after_s`` is the server's load-derived hint, surfaced as
+    the HTTP ``Retry-After`` header next to the 429 envelope.
+    """
+
+    code = "overload"
+    http_status = 429
+
+    def __init__(self, message: str, stage: Optional[str] = None,
+                 retry_after_s: int = 1):
+        super().__init__(message, stage=stage)
+        self.retry_after_s = retry_after_s
+
+    def envelope(self) -> Dict[str, Optional[str]]:
+        out = super().envelope()
+        out["retry_after_s"] = self.retry_after_s
+        return out
+
+
+class DeadlineExceeded(ReproError):
+    """The request's deadline (its own, or the server cap) expired
+    before the work finished; the computation was abandoned."""
+
+    code = "deadline"
+    http_status = 504
+
+
+class CancelledFailure(ReproError):
+    """The request was cancelled -- explicitly (``POST /v1/cancel``) or
+    because the client stalled or disconnected mid-flight.  499 is the
+    de-facto 'client closed request' status."""
+
+    code = "cancelled"
+    http_status = 499
+
+
 #: code -> HTTP status, derived from the taxonomy (single source).
 HTTP_STATUS_BY_CODE = {
     cls.code: cls.http_status
     for cls in (ReproError, RequestError, ConfigurationError,
-                ResolveError, ArtifactFailure, IOFailure, EngineError)
+                ResolveError, ArtifactFailure, IOFailure, EngineError,
+                PayloadTooLarge, OverloadFailure, DeadlineExceeded,
+                CancelledFailure)
 }
 
 

@@ -104,6 +104,7 @@ def _session_for(request: Request, tracker: StageTracker,
                               config=config or request.config,
                               progress=tracker)
     session.emit_ticks = True
+    session.cancel_check = tracker.cancel
     return session
 
 
@@ -256,7 +257,8 @@ def _run_compare(request: CompareRequest, tracker: StageTracker,
     def stage() -> list:
         return compare_modes(circuit, learned,
                              config=session.config.atpg,
-                             backtrack_limits=request.backtrack_limits)
+                             backtrack_limits=request.backtrack_limits,
+                             cancel=session.cancel_check)
 
     rows = session.run_stage("compare", stage,
                              lambda rows: {"rows": len(rows)})
@@ -336,12 +338,15 @@ def _run_shard(request: ShardRequest, tracker: StageTracker,
 def _run_stats(request: StatsRequest, tracker: StageTracker,
                store: Optional[ArtifactStore],
                sink: Optional[EventSink]) -> Response:
+    from ..sim.array_backend import pattern_cache_stats
+
     session = _session_for(request, tracker)
     circuit = session.circuit
     _emit_plan(sink, plan_request(request, circuit, store))
     payload: Dict[str, object] = {"circuit": circuit.name,
                                   "fingerprint": circuit.fingerprint()}
     payload.update(circuit.stats())
+    payload["pattern_cache"] = pattern_cache_stats()
     if store is not None:
         payload["artifact_store"] = store.stats()
     return _finish(request, payload)
@@ -394,22 +399,30 @@ _HANDLERS = {
 
 def execute(request: Union[Request, Dict[str, object]], *,
             events: Optional[EventSink] = None,
-            store: Optional[ArtifactStore] = None) -> Response:
+            store: Optional[ArtifactStore] = None,
+            cancel=None) -> Response:
     """Run any request to completion; never raises for request faults.
 
     ``request`` is a typed request object or its plain-dict form (the
     daemon's parsed JSON body).  ``events`` receives the typed event
     stream (:mod:`repro.api.events`); ``store`` enables content-
-    addressed learn-artifact reuse.  The returned :class:`Response`
-    envelope is deterministic for a given request: two processes (or a
-    daemon thread and a one-shot run) produce the same document,
+    addressed learn-artifact reuse.  ``cancel`` is a raising checkpoint
+    callable (the serve tier passes a
+    :meth:`~repro.serve.cancel.CancelToken.check`): it is polled at
+    stage boundaries and inside long ATPG fault loops, and whatever it
+    raises is classified like any other failure -- a
+    :class:`~repro.api.errors.CancelledFailure` or
+    :class:`~repro.api.errors.DeadlineExceeded` comes back as its own
+    error envelope.  The returned :class:`Response` envelope is
+    deterministic for a given request: two processes (or a daemon
+    thread and a one-shot run) produce the same document,
     byte-identical under ``canonical=True``.
     """
     kind: Optional[str] = None
     if isinstance(request, dict):
         raw_kind = request.get("kind")
         kind = raw_kind if isinstance(raw_kind, str) else None
-    tracker = StageTracker(progress_hook_for(events))
+    tracker = StageTracker(progress_hook_for(events), cancel=cancel)
     try:
         try:
             if isinstance(request, dict):

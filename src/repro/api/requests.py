@@ -44,10 +44,11 @@ from ..flow.config import (
 from .errors import RequestError
 
 __all__ = [
-    "SCHEMA_VERSION", "Request", "LearnRequest", "UntestableRequest",
-    "ATPGRequest", "FaultSimRequest", "SuiteRequest", "ShardRequest",
-    "CompareRequest", "StatsRequest", "AnalyzeRequest", "ListRequest",
-    "REQUEST_KINDS", "request_from_dict",
+    "SCHEMA_VERSION", "PRIORITY_CLASSES", "Request", "LearnRequest",
+    "UntestableRequest", "ATPGRequest", "FaultSimRequest",
+    "SuiteRequest", "ShardRequest", "CompareRequest", "StatsRequest",
+    "AnalyzeRequest", "ListRequest", "REQUEST_KINDS",
+    "request_from_dict",
 ]
 
 #: Version of the request *and* response envelope schema.  Bumped on
@@ -60,7 +61,15 @@ __all__ = [
 #: ``config.learn.single_node_batch_width``); configs carrying them are
 #: rejected by older servers, and every config digest changed because
 #: the canonical form materializes the new defaults.
-SCHEMA_VERSION = 4
+#: Version 5 added the serve-tier fields (``priority``, ``deadline_s``,
+#: ``request_id``) to every kind; they steer admission control and
+#: cancellation in :mod:`repro.serve` and are excluded from config
+#: digests, so cache keys and canonical results are unchanged.
+SCHEMA_VERSION = 5
+
+#: Admission classes the serve tier schedules between; earlier names
+#: win ties (``interactive`` outranks ``batch``).
+PRIORITY_CLASSES = ("interactive", "batch")
 
 
 @dataclass
@@ -94,6 +103,26 @@ class Request:
         config = getattr(self, "config", None)
         if config is not None:
             config.validate()
+        priority = getattr(self, "priority", "interactive")
+        if priority not in PRIORITY_CLASSES:
+            raise RequestError(
+                f"priority must be one of {PRIORITY_CLASSES}, "
+                f"got {priority!r}")
+        deadline = getattr(self, "deadline_s", None)
+        if deadline is not None:
+            if (isinstance(deadline, bool)
+                    or not isinstance(deadline, (int, float))
+                    or deadline <= 0):
+                raise RequestError(
+                    f"deadline_s must be a positive number or null, "
+                    f"got {deadline!r}")
+        request_id = getattr(self, "request_id", None)
+        if request_id is not None:
+            if (not isinstance(request_id, str) or not request_id
+                    or len(request_id) > 128):
+                raise RequestError(
+                    "request_id must be a non-empty string of at "
+                    f"most 128 characters, got {request_id!r}")
         return self
 
     # ------------------------------------------------------------------
@@ -115,11 +144,14 @@ class Request:
         return canonical_json(self.to_dict())
 
     #: Request fields that never change computed results: the circuit
-    #: spec (subsumed by the fingerprint), output destinations, and
-    #: presentation toggles.  Everything else -- modes, limits,
-    #: artifact inputs, the config -- is part of the digest.
+    #: spec (subsumed by the fingerprint), output destinations,
+    #: presentation toggles, and the serve-tier scheduling fields
+    #: (which steer *when* work runs, never *what* it computes).
+    #: Everything else -- modes, limits, artifact inputs, the config
+    #: -- is part of the digest.
     _NON_RESULT_FIELDS: ClassVar[Tuple[str, ...]] = (
-        "spec", "specs", "save", "out", "canonical", "details")
+        "spec", "specs", "save", "out", "canonical", "details",
+        "priority", "deadline_s", "request_id")
 
     def config_digest(self, circuit: Circuit) -> str:
         """Stable SHA-256 of (request kind, circuit, every
@@ -206,6 +238,10 @@ class LearnRequest(Request):
     details: bool = False
     #: Zero volatile wall-clock fields for byte-identical responses.
     canonical: bool = False
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def validate(self) -> "LearnRequest":
         super().validate()
@@ -223,6 +259,10 @@ class UntestableRequest(Request):
     spec: str = ""
     config: ReproConfig = field(default_factory=ReproConfig)
     canonical: bool = False
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
 
 @dataclass
@@ -239,6 +279,10 @@ class ATPGRequest(Request):
     #: validated against the circuit, even for the 'none' baseline).
     learned: Optional[str] = None
     canonical: bool = False
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def validate(self) -> "ATPGRequest":
         super().validate()
@@ -258,6 +302,10 @@ class FaultSimRequest(Request):
     #: Modes whose test sets to grade; empty means the config's mode.
     modes: Tuple[str, ...] = ()
     canonical: bool = False
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def validate(self) -> "FaultSimRequest":
         super().validate()
@@ -279,6 +327,10 @@ class SuiteRequest(Request):
     #: Also write the suite report JSON to this path (atomic).
     out: Optional[str] = None
     canonical: bool = False
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def validate(self) -> "SuiteRequest":
         super().validate()
@@ -314,6 +366,10 @@ class ShardRequest(Request):
     #: artifact tier).  None is only legal for mode='none'.
     learned_digest: Optional[str] = None
     canonical: bool = False
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def validate(self) -> "ShardRequest":
         super().validate()
@@ -342,6 +398,10 @@ class CompareRequest(Request):
     config: ReproConfig = field(default_factory=ReproConfig)
     backtrack_limits: Tuple[int, ...] = (30, 1000)
     canonical: bool = False
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def validate(self) -> "CompareRequest":
         super().validate()
@@ -363,6 +423,10 @@ class StatsRequest(Request):
 
     spec: str = ""
     config: ReproConfig = field(default_factory=ReproConfig)
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
 
 @dataclass
@@ -374,6 +438,10 @@ class AnalyzeRequest(Request):
     spec: str = ""
     config: ReproConfig = field(default_factory=ReproConfig)
     max_ffs: int = 16
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
     def validate(self) -> "AnalyzeRequest":
         super().validate()
@@ -387,6 +455,11 @@ class ListRequest(Request):
     """List built-in circuit names."""
 
     KIND: ClassVar[str] = "list"
+
+    # Serve-tier fields (schema v5): admission class, deadline, id.
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+    request_id: Optional[str] = None
 
 
 def _check_modes(modes: Tuple[str, ...]) -> None:

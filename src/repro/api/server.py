@@ -1,222 +1,23 @@
-"""``repro serve`` -- a warm, concurrent JSON-over-HTTP daemon.
+"""``repro serve`` -- compatibility shim over :mod:`repro.serve`.
 
-One-shot CLI runs pay the same fixed costs on every invocation: Python
-start-up, kernel compilation, learning.  The daemon keeps one process
-warm and shares the expensive state across requests:
-
-* the compiled-kernel cache (:mod:`repro.sim.compiled`, process-wide,
-  now thread-safe),
-* a content-addressed :class:`~repro.api.store.ArtifactStore` of learn
-  results (in-memory, optionally disk-backed with ``--store``),
-* fault-cone and fanout caches living on circuit objects.
-
-Protocol (stdlib only -- ``http.server``; one thread per request via
-``ThreadingHTTPServer``):
-
-``POST /v1/execute``
-    Body: one request document (:mod:`repro.api.requests`).  Answer:
-    the same versioned envelope :func:`repro.api.execute` returns --
-    byte-identical to a one-shot ``repro ... --json`` run of the same
-    request (timings and all; send ``"canonical": true`` for
-    reproducible bytes).  HTTP status comes from the error taxonomy
-    (400 parse/config, 404 resolve, 409 artifact, 500 engine).
-
-``GET /v1/health``
-    Liveness + cache statistics (requests served, kernel-cache and
-    artifact-store hit counters).
-
-``GET /v1/kinds``
-    The request vocabulary: kind names and their schema_version.
-
-Determinism under concurrency is inherited, not bolted on: the engines
-share no mutable per-run state (each request gets its own session;
-caches hold immutable-after-build objects), so N parallel clients get
-the same bytes as N serial runs.
+The daemon outgrew this module: streaming, admission control,
+cancellation and metrics live in the :mod:`repro.serve` package now
+(:mod:`repro.serve.daemon` in particular).  Every public name that
+historically lived here -- :class:`ReproServer`, :func:`make_server`,
+:func:`serve`, :data:`MAX_BODY_BYTES`, :data:`FILE_PATH_FIELDS` -- is
+re-exported unchanged, so existing imports and the
+``repro.api.make_server`` lazy attribute keep working.
 """
 
 from __future__ import annotations
 
-import json
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from ..serve.daemon import (
+    FILE_PATH_FIELDS,
+    MAX_BODY_BYTES,
+    ReproServer,
+    make_server,
+    serve,
+)
 
-from ..sim.compiled import compile_cache_stats
-from .errors import HTTP_STATUS_BY_CODE, RequestError
-from .executor import Response, execute
-from .requests import REQUEST_KINDS, SCHEMA_VERSION
-from .store import ArtifactStore
-
-#: Request fields naming server-side filesystem paths.  Rejected by the
-#: daemon unless it was started with ``allow_file_requests=True``: a
-#: network client must not get arbitrary file read/write as the daemon
-#: user just by naming a path in a request document.
-FILE_PATH_FIELDS = ("save", "out", "learned")
-
-__all__ = ["ReproServer", "make_server", "serve"]
-
-#: Largest accepted request body; a request document is small, and the
-#: daemon should shrug off confused or hostile clients.
-MAX_BODY_BYTES = 4 << 20
-
-
-class ReproServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the warm shared state."""
-
-    daemon_threads = True
-
-    def __init__(self, address: Tuple[str, int],
-                 store: Optional[ArtifactStore] = None,
-                 allow_file_requests: bool = False):
-        super().__init__(address, _Handler)
-        self.store = store if store is not None else ArtifactStore()
-        self.allow_file_requests = allow_file_requests
-        self.requests_served = 0
-        self.requests_failed = 0
-        self.stats_lock = threading.Lock()
-
-    def health(self) -> dict:
-        with self.stats_lock:
-            served, failed = self.requests_served, self.requests_failed
-        return {
-            "ok": True,
-            "schema_version": SCHEMA_VERSION,
-            "requests_served": served,
-            "requests_failed": failed,
-            "kernel_cache": compile_cache_stats(),
-            "artifact_store": self.store.stats(),
-        }
-
-    def count(self, ok: bool) -> None:
-        with self.stats_lock:
-            self.requests_served += 1
-            if not ok:
-                self.requests_failed += 1
-
-
-class _Handler(BaseHTTPRequestHandler):
-    server: ReproServer  # typing aid; http.server sets this
-
-    #: Silence the default per-request stderr lines; a daemon serving
-    #: concurrent traffic should not interleave access logs with the
-    #: owner's terminal.  Errors still surface as error envelopes.
-    def log_message(self, format: str, *args) -> None:
-        pass
-
-    # ------------------------------------------------------------------
-    def _send(self, status: int, payload_bytes: bytes,
-              content_type: str = "application/json") -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload_bytes)))
-        self.end_headers()
-        self.wfile.write(payload_bytes)
-
-    def _send_json(self, status: int, payload: dict) -> None:
-        self._send(status, (json.dumps(payload, indent=1) + "\n").encode())
-
-    # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
-        if self.path == "/v1/health":
-            self._send_json(200, self.server.health())
-        elif self.path == "/v1/kinds":
-            self._send_json(200, {
-                "schema_version": SCHEMA_VERSION,
-                "kinds": sorted(REQUEST_KINDS),
-            })
-        else:
-            self._send_json(404, {
-                "schema_version": SCHEMA_VERSION,
-                "ok": False,
-                "error": {"code": "parse", "stage": "http",
-                          "message": f"no such endpoint {self.path!r}; "
-                                     "POST /v1/execute, GET /v1/health, "
-                                     "GET /v1/kinds"},
-            })
-
-    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
-        if self.path != "/v1/execute":
-            self.do_GET()  # reuse the 404 envelope
-            return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            length = -1
-        if length < 0 or length > MAX_BODY_BYTES:
-            error = RequestError(
-                f"request body must be 0..{MAX_BODY_BYTES} bytes with a "
-                "valid Content-Length", stage="http")
-            self._respond(Response(kind="unknown", ok=False,
-                                   error=error.envelope(), exit_code=1),
-                          error.http_status)
-            return
-        body = self.rfile.read(length)
-        try:
-            data = json.loads(body or b"null")
-        except json.JSONDecodeError as exc:
-            error = RequestError(f"request body is not valid JSON: {exc}",
-                                 stage="http")
-            self._respond(Response(kind="unknown", ok=False,
-                                   error=error.envelope(), exit_code=1),
-                          error.http_status)
-            return
-        if not isinstance(data, dict):
-            data = {"kind": data}  # let request parsing shape the error
-        if not self.server.allow_file_requests:
-            named = [f for f in FILE_PATH_FIELDS if data.get(f)]
-            if named:
-                error = RequestError(
-                    f"this server does not accept requests naming "
-                    f"server-side file paths ({named}); restart it with "
-                    "allow_file_requests (repro serve "
-                    "--allow-file-requests) to opt in", stage="http")
-                self._respond(Response(
-                    kind=str(data.get("kind")), ok=False,
-                    error=error.envelope(), exit_code=1),
-                    error.http_status)
-                return
-        response = execute(data, store=self.server.store)
-        status = 200
-        if not response.ok:
-            code = (response.error or {}).get("code")
-            status = HTTP_STATUS_BY_CODE.get(code, 500)
-        self._respond(response, status)
-
-    def _respond(self, response: Response, status: int) -> None:
-        self.server.count(response.ok)
-        self._send(status, response.to_json().encode())
-
-
-def make_server(host: str = "127.0.0.1", port: int = 0,
-                store: Optional[ArtifactStore] = None,
-                allow_file_requests: bool = False) -> ReproServer:
-    """Bind (but do not run) a daemon; ``port=0`` picks a free port.
-
-    The caller owns the lifecycle: ``serve_forever()`` on any thread,
-    ``shutdown()`` + ``server_close()`` to stop.  Used directly by the
-    concurrency tests.
-    """
-    return ReproServer((host, port), store=store,
-                       allow_file_requests=allow_file_requests)
-
-
-def serve(host: str = "127.0.0.1", port: int = 8451,
-          store_dir: Optional[str] = None,
-          allow_file_requests: bool = False,
-          announce=print) -> None:
-    """Run the daemon until interrupted (the ``repro serve`` command)."""
-    store = ArtifactStore(root=store_dir)
-    server = make_server(host, port, store=store,
-                         allow_file_requests=allow_file_requests)
-    bound_host, bound_port = server.server_address[:2]
-    announce(f"repro serve: listening on http://{bound_host}:{bound_port}"
-             f" (schema_version {SCHEMA_VERSION}, store: "
-             f"{store_dir or 'in-memory'})")
-    announce("POST /v1/execute | GET /v1/health | GET /v1/kinds "
-             "-- Ctrl-C to stop")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
+__all__ = ["ReproServer", "make_server", "serve",
+           "MAX_BODY_BYTES", "FILE_PATH_FIELDS"]

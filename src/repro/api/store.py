@@ -96,6 +96,8 @@ class ArtifactStore:
         self.misses = 0
         self.puts = 0
         self.flight_waits = 0
+        self.payload_hits = 0
+        self.payload_misses = 0
 
     def flight_lock(self, digest: str) -> threading.Lock:
         """Single-flight lock for one digest's compute.
@@ -235,20 +237,29 @@ class ArtifactStore:
         if path is not None and os.path.exists(path):
             try:
                 with open(path, "rb") as handle:
-                    return handle.read()
+                    raw = handle.read()
             except OSError:
                 pass
+            else:
+                with self._lock:
+                    self.payload_hits += 1
+                return raw
         with self._lock:
             raw = self._payload_memory.get(digest)
             if raw is not None:
                 self._payload_memory.move_to_end(digest)
+                self.payload_hits += 1
                 return raw
             hit = self._memory.get(digest)
         if hit is not None:
             # Match write_json_atomic's framing so payload bytes do not
             # depend on which tier answered.
+            with self._lock:
+                self.payload_hits += 1
             return (json.dumps(learn_result_to_dict(hit, digest=digest),
                                indent=1) + "\n").encode()
+        with self._lock:
+            self.payload_misses += 1
         return None
 
     def put_learn_payload(self, digest: str, payload: bytes) -> bool:
@@ -293,4 +304,6 @@ class ArtifactStore:
                 "misses": self.misses,
                 "puts": self.puts,
                 "flight_waits": self.flight_waits,
+                "payload_hits": self.payload_hits,
+                "payload_misses": self.payload_misses,
             }

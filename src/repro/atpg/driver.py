@@ -137,7 +137,8 @@ def run_atpg(circuit: Circuit, *,
              sim_width: Optional[int] = None,
              atpg_engine: str = "incremental",
              progress: Optional[Callable[[int, int], None]] = None,
-             generate: Optional[Callable[[Fault], TestResult]] = None
+             generate: Optional[Callable[[Fault], TestResult]] = None,
+             cancel: Optional[Callable[[], None]] = None
              ) -> ATPGStats:
     """Generate tests for every fault; returns aggregate statistics.
 
@@ -166,6 +167,13 @@ def run_atpg(circuit: Circuit, *,
     loop targets, so long runs can stream liveness without changing any
     result -- the API layer turns it into
     :class:`~repro.api.events.ProgressEvent` ticks.
+
+    ``cancel`` (UI-adjacent, like ``progress``) is a checkpoint hook
+    called before each fault is targeted; to abandon the run it raises
+    (the serve tier passes a deadline/disconnect token whose ``check``
+    raises a :class:`~repro.api.errors.ReproError`).  A run that is
+    never cancelled is unaffected: the hook returning ``None`` costs
+    one call per fault.
 
     ``generate`` is the distributed layer's injection point: when given
     it replaces ``make_atpg(...).generate`` (no engine is built here),
@@ -216,6 +224,8 @@ def run_atpg(circuit: Circuit, *,
                                     width=sim_width)
     targeted = 0
     for index in list(remaining):
+        if cancel is not None:
+            cancel()
         targeted += 1
         if status.get(index) is not None:
             if progress is not None:
@@ -277,7 +287,8 @@ def compare_modes(circuit: Circuit, learned: LearnResult, *,
                   config=None,
                   backtrack_limits: Optional[Sequence[int]] = None,
                   max_frames: int = 10,
-                  max_faults: Optional[int] = None
+                  max_faults: Optional[int] = None,
+                  cancel: Optional[Callable[[], None]] = None
                   ) -> List[ATPGStats]:
     """The full Table-5 protocol for one circuit.
 
@@ -307,5 +318,6 @@ def compare_modes(circuit: Circuit, learned: LearnResult, *,
                              else "compiled"),
                 sim_width=config.sim_width if config else None,
                 atpg_engine=(config.atpg_engine if config
-                             else "incremental")))
+                             else "incremental"),
+                cancel=cancel))
     return rows

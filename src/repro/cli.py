@@ -416,6 +416,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "paths (save/out/learned); off by default -- "
                         "network clients would get file access as the "
                         "daemon user")
+    p.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                   help="waiting requests accepted per priority class "
+                        "before answering 429 + Retry-After "
+                        "(default: 16)")
+    p.add_argument("--max-active", type=int, default=None, metavar="N",
+                   help="concurrent execution slots (default: from "
+                        "cpu count, 2..8)")
+    p.add_argument("--deadline-cap", type=float, default=None,
+                   metavar="S",
+                   help="server-wide ceiling on request deadlines in "
+                        "seconds; also applied to requests naming no "
+                        "deadline (default: none)")
+    p.add_argument("--stream", action="store_true", default=True,
+                   dest="stream",
+                   help="enable POST /v1/stream and NDJSON/SSE "
+                        "responses (default)")
+    p.add_argument("--no-stream", action="store_false", dest="stream",
+                   help="disable the streaming endpoints")
 
     p = sub.add_parser("coordinator",
                        help="serve one suite as fault-sharded units; "
@@ -554,7 +572,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             serve(host=args.host, port=args.port, store_dir=args.store,
-                  allow_file_requests=args.allow_file_requests)
+                  allow_file_requests=args.allow_file_requests,
+                  queue_depth=args.queue_depth,
+                  max_active=args.max_active,
+                  deadline_cap=args.deadline_cap,
+                  allow_streaming=args.stream)
         except OSError as exc:  # e.g. port already in use
             raise SystemExit(f"repro: error: {exc}") from exc
         return 0

@@ -96,9 +96,14 @@ class StageTracker:
     sharded suite reports diverge.
     """
 
-    def __init__(self, inner: Optional[ProgressHook] = None):
+    def __init__(self, inner: Optional[ProgressHook] = None,
+                 cancel: Optional[Callable[[], None]] = None):
         self.inner = inner
         self.stage = "config"
+        #: Raising checkpoint hook (the serve tier's cancellation
+        #: token); unlike ``inner`` its exceptions must propagate --
+        #: cancellation is control flow, not UI.
+        self.cancel = cancel
 
     def __call__(self, stage: str, event: str,
                  payload: Optional[dict]) -> None:
@@ -176,6 +181,13 @@ class PipelineSession:
     #: stream.
     emit_ticks = False
 
+    #: Raising checkpoint callable (set by :func:`repro.api.execute`
+    #: when a cancellation token is attached): checked at every stage
+    #: boundary and threaded into ``run_atpg``'s fault loop, so a
+    #: deadline or client disconnect stops the search mid-stage instead
+    #: of after it.  ``None`` (the default) costs nothing.
+    cancel_check: Optional[Callable[[], None]] = None
+
     def __init__(self, spec: Union[str, Circuit],
                  config: Optional[ReproConfig] = None,
                  progress: Optional[ProgressHook] = None):
@@ -191,6 +203,8 @@ class PipelineSession:
 
     # ------------------------------------------------------------------
     def _stage(self, name: str, fn, summarize):
+        if self.cancel_check is not None:
+            self.cancel_check()
         if self.progress is not None:
             self.progress(name, "start", None)
         t0 = time.perf_counter()
@@ -351,7 +365,8 @@ class PipelineSession:
             self._atpg[mode] = self._stage(
                 f"atpg[{mode}]",
                 lambda: run_atpg(circuit, learned=learned, config=config,
-                                 progress=tick),
+                                 progress=tick,
+                                 cancel=self.cancel_check),
                 lambda s: dict(s.row()))
         return self._atpg[mode]
 

@@ -1,0 +1,612 @@
+"""The production daemon behind ``repro serve``.
+
+This module grew out of :mod:`repro.api.server` (which now re-exports
+it) when the daemon became a real serving tier instead of a thin HTTP
+shim.  On top of the original warm-process contract -- shared kernel
+cache, shared :class:`~repro.api.store.ArtifactStore`, byte-identical
+envelopes -- it adds three production capabilities:
+
+**Streaming.**  ``POST /v1/stream`` (or ``POST /v1/execute`` with
+``Accept: application/x-ndjson``) emits the typed event protocol live
+while the request executes -- NDJSON lines by default, SSE with
+``Accept: text/event-stream`` -- terminated by the exact byte-identical
+envelope a one-shot run would return (see
+:mod:`repro.serve.streaming`).
+
+**Admission control.**  Every request passes the
+:class:`~repro.serve.admission.AdmissionController`: bounded per-class
+queues, ``interactive`` weighted over ``batch``, 429 +
+``Retry-After`` on overflow.  Per-request deadlines (``deadline_s``
+request field, capped by the server's ``deadline_cap``) and client
+disconnects propagate into the engines through a
+:class:`~repro.serve.cancel.CancelToken`, so abandoned ATPG searches
+stop burning cores mid-fault-loop.  ``POST /v1/cancel`` cancels by
+request id (server-assigned ``r-<n>``, echoed in ``X-Request-Id``, or
+client-chosen via the ``request_id`` field).
+
+**Observability.**  A :class:`~repro.serve.metrics.Metrics` registry
+records per-kind latency, queue wait/depth, rejections and
+cancellations; ``GET /v1/metrics`` exports it as JSON (default) or
+Prometheus text (``?format=prometheus`` / ``Accept: text/plain``),
+alongside point-in-time cache-tier stats (kernel cache, artifact
+store, pattern cache).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..api.errors import (
+    HTTP_STATUS_BY_CODE,
+    OverloadFailure,
+    PayloadTooLarge,
+    ReproError,
+    RequestError,
+)
+from ..api.executor import Response, execute
+from ..api.requests import PRIORITY_CLASSES, REQUEST_KINDS, SCHEMA_VERSION
+from ..api.store import ArtifactStore
+from ..sim.array_backend import pattern_cache_stats
+from ..sim.compiled import compile_cache_stats
+from .admission import AdmissionController
+from .cancel import REASON_CLIENT_DISCONNECT, REASON_EXPLICIT, CancelToken
+from .metrics import DEPTH_BUCKETS, Metrics
+from .streaming import (
+    NDJSON_CONTENT_TYPE,
+    SSE_CONTENT_TYPE,
+    EventStreamWriter,
+)
+
+__all__ = ["ReproServer", "make_server", "serve",
+           "MAX_BODY_BYTES", "FILE_PATH_FIELDS"]
+
+#: Request fields naming server-side filesystem paths.  Rejected by the
+#: daemon unless it was started with ``allow_file_requests=True``: a
+#: network client must not get arbitrary file read/write as the daemon
+#: user just by naming a path in a request document.
+FILE_PATH_FIELDS = ("save", "out", "learned")
+
+#: Largest accepted request body; a request document is small, and the
+#: daemon should shrug off confused or hostile clients.
+MAX_BODY_BYTES = 4 << 20
+
+
+def _default_max_active() -> int:
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class ReproServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the warm shared state."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 store: Optional[ArtifactStore] = None,
+                 allow_file_requests: bool = False,
+                 queue_depth: int = 16,
+                 max_active: Optional[int] = None,
+                 deadline_cap: Optional[float] = None,
+                 allow_streaming: bool = True):
+        super().__init__(address, _Handler)
+        self.store = store if store is not None else ArtifactStore()
+        self.allow_file_requests = allow_file_requests
+        self.allow_streaming = allow_streaming
+        #: Server-wide ceiling on any request's deadline (seconds);
+        #: also the deadline applied to requests that name none.
+        self.deadline_cap = deadline_cap
+        #: Per-write socket timeout on streams: a reader stalled longer
+        #: than this cancels the request instead of wedging the worker.
+        self.stream_write_timeout = 10.0
+        self.metrics = Metrics()
+        self.admission = AdmissionController(
+            max_active=(max_active if max_active is not None
+                        else _default_max_active()),
+            queue_depth=queue_depth)
+        self.requests_served = 0
+        self.requests_failed = 0
+        self._request_counter = 0
+        self._tokens: Dict[str, CancelToken] = {}
+        self.stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        with self.stats_lock:
+            served, failed = self.requests_served, self.requests_failed
+        return {
+            "ok": True,
+            "schema_version": SCHEMA_VERSION,
+            "requests_served": served,
+            "requests_failed": failed,
+            "streaming": self.allow_streaming,
+            "admission": self.admission.depths(),
+            "kernel_cache": compile_cache_stats(),
+            "artifact_store": self.store.stats(),
+            "pattern_cache": pattern_cache_stats(),
+        }
+
+    def count(self, ok: bool) -> None:
+        with self.stats_lock:
+            self.requests_served += 1
+            if not ok:
+                self.requests_failed += 1
+
+    # ------------------------------------------------------------------
+    def next_request_id(self) -> str:
+        """Deterministic server-assigned id (``r-1``, ``r-2``, ...)."""
+        with self.stats_lock:
+            self._request_counter += 1
+            return f"r-{self._request_counter}"
+
+    def register_token(self, request_id: str,
+                       token: CancelToken) -> None:
+        with self.stats_lock:
+            self._tokens[request_id] = token
+
+    def unregister_token(self, request_id: str) -> None:
+        with self.stats_lock:
+            self._tokens.pop(request_id, None)
+
+    def cancel_request(self, request_id: str) -> bool:
+        """``POST /v1/cancel`` entry: True iff this call cancelled a
+        live request (False: unknown id or already cancelled)."""
+        with self.stats_lock:
+            token = self._tokens.get(request_id)
+        if token is None:
+            return False
+        return token.cancel(REASON_EXPLICIT)
+
+    # ------------------------------------------------------------------
+    def effective_deadline(self,
+                           requested: Optional[float]
+                           ) -> Optional[float]:
+        """Request deadline clamped by the server cap."""
+        if requested is None:
+            return self.deadline_cap
+        if self.deadline_cap is None:
+            return requested
+        return min(requested, self.deadline_cap)
+
+    def metrics_payload(self) -> dict:
+        """The ``GET /v1/metrics`` JSON document."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "metrics": self.metrics.to_dict(),
+            "caches": {
+                "kernel_cache": compile_cache_stats(),
+                "artifact_store": self.store.stats(),
+                "pattern_cache": pattern_cache_stats(),
+            },
+            "admission": self.admission.depths(),
+        }
+
+    def metrics_gauges(self) -> Dict[str, float]:
+        """Point-in-time gauge values for the Prometheus export."""
+        out: Dict[str, float] = {}
+        for prefix, stats in (("kernel_cache", compile_cache_stats()),
+                              ("artifact_store", self.store.stats()),
+                              ("pattern_cache", pattern_cache_stats())):
+            for key in sorted(stats):
+                value = stats[key]
+                if isinstance(value, (int, float)):
+                    out[f"{prefix}_{key}"] = value
+        depths = self.admission.depths()
+        for key in sorted(depths):
+            out[f"admission_{key}"] = depths[key]
+        with self.stats_lock:
+            out["requests_served"] = self.requests_served
+            out["requests_failed"] = self.requests_failed
+        return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproServer  # typing aid; http.server sets this
+
+    #: Per-socket-operation timeout: a sender that stalls forever
+    #: mid-body (or mid-chunk) is cut loose instead of pinning a
+    #: worker thread.
+    timeout = 60.0
+
+    #: Silence the default per-request stderr lines; a daemon serving
+    #: concurrent traffic should not interleave access logs with the
+    #: owner's terminal.  Errors still surface as error envelopes.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    def _send(self, status: int, payload_bytes: bytes,
+              content_type: str = "application/json",
+              headers: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload_bytes)))
+        for name in sorted(headers or {}):
+            self.send_header(name, headers[name])
+        self.end_headers()
+        self.wfile.write(payload_bytes)
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        self._send(status, (json.dumps(payload, indent=1) + "\n").encode(),
+                   headers=headers)
+
+    def _respond(self, response: Response, status: int,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        self.server.count(response.ok)
+        self._send(status, response.to_json().encode(), headers=headers)
+
+    def _respond_error(self, error: ReproError, kind: str = "unknown",
+                       headers: Optional[Dict[str, str]] = None) -> None:
+        self._respond(Response(kind=kind, ok=False,
+                               error=error.envelope(), exit_code=1),
+                      error.http_status, headers=headers)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        path, _, query = self.path.partition("?")
+        if path == "/v1/health":
+            self._send_json(200, self.server.health())
+        elif path == "/v1/kinds":
+            self._send_json(200, {
+                "schema_version": SCHEMA_VERSION,
+                "kinds": sorted(REQUEST_KINDS),
+            })
+        elif path == "/v1/metrics":
+            accept = self.headers.get("Accept", "")
+            if "format=prometheus" in query or "text/plain" in accept:
+                self._send(200,
+                           self.server.metrics.render_prometheus(
+                               gauges=self.server.metrics_gauges()
+                           ).encode(),
+                           content_type="text/plain; version=0.0.4")
+            else:
+                self._send_json(200, self.server.metrics_payload())
+        else:
+            self._send_json(404, {
+                "schema_version": SCHEMA_VERSION,
+                "ok": False,
+                "error": {"code": "parse", "stage": "http",
+                          "message": f"no such endpoint {self.path!r}; "
+                                     "POST /v1/execute, /v1/stream, "
+                                     "/v1/cancel; GET /v1/health, "
+                                     "/v1/kinds, /v1/metrics"},
+            })
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        if self.path == "/v1/cancel":
+            self._handle_cancel()
+        elif self.path == "/v1/stream":
+            if not self.server.allow_streaming:
+                self._respond_error(RequestError(
+                    "streaming is disabled on this server (restart "
+                    "without --no-stream to enable /v1/stream)",
+                    stage="http"))
+                return
+            self._handle_execute(stream_default=True)
+        elif self.path == "/v1/execute":
+            self._handle_execute(stream_default=False)
+        else:
+            self.do_GET()  # reuse the 404 envelope
+
+    # ------------------------------------------------------------------
+    # body reading (Content-Length and chunked, both bounded)
+    # ------------------------------------------------------------------
+    def _read_body(self) -> bytes:
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            return self._read_chunked()
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise RequestError(
+                "Content-Length is not an integer", stage="http")
+        if length < 0:
+            raise RequestError(
+                "Content-Length must be >= 0", stage="http")
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit", stage="http")
+        return self.rfile.read(length)
+
+    def _read_chunked(self) -> bytes:
+        """Strict, bounded chunked-transfer decoding.
+
+        ``http.server`` never decodes chunked bodies itself; without
+        this, a chunked POST would be misread as an empty body.  Any
+        malformation is a 400 (:class:`RequestError`); exceeding
+        :data:`MAX_BODY_BYTES` across chunks is a 413 -- never a bare
+        connection drop.
+        """
+        parts = []
+        total = 0
+        while True:
+            line = self.rfile.readline(34)
+            if not line.endswith(b"\n"):
+                raise RequestError(
+                    "malformed chunked body: oversized or truncated "
+                    "chunk-size line", stage="http")
+            size_token = line.strip().split(b";", 1)[0]
+            try:
+                size = int(size_token, 16)
+            except ValueError:
+                raise RequestError(
+                    f"malformed chunked body: bad chunk size "
+                    f"{size_token!r}", stage="http")
+            if size < 0:
+                raise RequestError(
+                    "malformed chunked body: negative chunk size",
+                    stage="http")
+            total += size
+            if total > MAX_BODY_BYTES:
+                raise PayloadTooLarge(
+                    f"chunked request body exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit", stage="http")
+            chunk = self.rfile.read(size)
+            if len(chunk) != size:
+                raise RequestError(
+                    "malformed chunked body: truncated chunk",
+                    stage="http")
+            terminator = self.rfile.read(2)
+            if terminator != b"\r\n":
+                raise RequestError(
+                    "malformed chunked body: missing CRLF after chunk "
+                    "(trailers are not supported)", stage="http")
+            if size == 0:
+                return b"".join(parts)
+            parts.append(chunk)
+
+    # ------------------------------------------------------------------
+    def _handle_cancel(self) -> None:
+        try:
+            body = self._read_body()
+            data = json.loads(body or b"null")
+        except ReproError as error:
+            self._respond_error(error)
+            return
+        except json.JSONDecodeError as exc:
+            self._respond_error(RequestError(
+                f"request body is not valid JSON: {exc}", stage="http"))
+            return
+        request_id = (data or {}).get("request_id") \
+            if isinstance(data, dict) else None
+        if not isinstance(request_id, str) or not request_id:
+            self._respond_error(RequestError(
+                "cancel body must be {\"request_id\": \"<id>\"}",
+                stage="http"))
+            return
+        cancelled = self.server.cancel_request(request_id)
+        self._send_json(200, {
+            "schema_version": SCHEMA_VERSION,
+            "ok": True,
+            "request_id": request_id,
+            "cancelled": cancelled,
+        })
+
+    # ------------------------------------------------------------------
+    def _stream_format(self, stream_default: bool) -> Optional[str]:
+        if not self.server.allow_streaming:
+            return None
+        accept = self.headers.get("Accept", "")
+        if SSE_CONTENT_TYPE in accept:
+            return "sse"
+        if NDJSON_CONTENT_TYPE in accept:
+            return "ndjson"
+        return "ndjson" if stream_default else None
+
+    def _disconnect_probe(self):
+        """Throttled liveness peek: recv on a socket whose peer closed
+        returns b'' (EOF) without blocking; a healthy idle peer raises
+        BlockingIOError.  Run from CancelToken.check."""
+        connection = self.connection
+
+        def probe() -> Optional[str]:
+            previous = connection.gettimeout()
+            try:
+                connection.settimeout(0.0)
+                try:
+                    chunk = connection.recv(1)
+                finally:
+                    connection.settimeout(previous)
+            except (BlockingIOError, InterruptedError):
+                return None
+            except OSError:
+                return REASON_CLIENT_DISCONNECT
+            if not chunk:
+                return REASON_CLIENT_DISCONNECT
+            return None
+
+        return probe
+
+    # ------------------------------------------------------------------
+    def _handle_execute(self, stream_default: bool) -> None:
+        server = self.server
+        started = time.perf_counter()
+        kind = "unknown"
+        priority = "interactive"
+        outcome = "error"
+        token: Optional[CancelToken] = None
+        try:
+            try:
+                body = self._read_body()
+                data = json.loads(body or b"null")
+            except ReproError as error:
+                self._respond_error(error)
+                return
+            except json.JSONDecodeError as exc:
+                self._respond_error(RequestError(
+                    f"request body is not valid JSON: {exc}",
+                    stage="http"))
+                return
+            if not isinstance(data, dict):
+                data = {"kind": data}  # let request parsing shape the error
+            kind = str(data.get("kind"))
+            if not server.allow_file_requests:
+                named = [f for f in FILE_PATH_FIELDS if data.get(f)]
+                if named:
+                    self._respond_error(RequestError(
+                        f"this server does not accept requests naming "
+                        f"server-side file paths ({named}); restart it "
+                        "with allow_file_requests (repro serve "
+                        "--allow-file-requests) to opt in",
+                        stage="http"), kind=kind)
+                    return
+            raw_priority = data.get("priority", "interactive")
+            if raw_priority in PRIORITY_CLASSES:
+                # An invalid class is admitted as interactive and then
+                # rejected properly by request validation.
+                priority = raw_priority
+            raw_deadline = data.get("deadline_s")
+            deadline = server.effective_deadline(
+                raw_deadline if isinstance(raw_deadline, (int, float))
+                and not isinstance(raw_deadline, bool)
+                and raw_deadline > 0 else None)
+            token = CancelToken(deadline_s=deadline)
+            raw_id = data.get("request_id")
+            request_id = (raw_id if isinstance(raw_id, str) and raw_id
+                          else server.next_request_id())
+            server.register_token(request_id, token)
+            try:
+                depths = server.admission.depths()
+                server.metrics.observe(
+                    "queue_depth", depths.get(priority, 0),
+                    {"class": priority}, buckets=DEPTH_BUCKETS)
+                queued_at = time.perf_counter()
+                try:
+                    server.admission.acquire(priority, cancel=token)
+                except OverloadFailure as error:
+                    outcome = "rejected"
+                    server.metrics.inc("rejections_total",
+                                       {"class": priority})
+                    self._respond_error(
+                        error, kind=kind,
+                        headers={"Retry-After": str(error.retry_after_s),
+                                 "X-Request-Id": request_id})
+                    return
+                except ReproError as error:
+                    # Cancelled (deadline/disconnect/explicit) while
+                    # still queued: never held a slot.
+                    outcome = "cancelled"
+                    self._respond_error(
+                        error, kind=kind,
+                        headers={"X-Request-Id": request_id})
+                    return
+                server.metrics.observe(
+                    "queue_wait_s", time.perf_counter() - queued_at,
+                    {"class": priority})
+                try:
+                    fmt = self._stream_format(stream_default)
+                    if fmt is None:
+                        token.set_probe(self._disconnect_probe())
+                        response = execute(data, store=server.store,
+                                           cancel=token.check)
+                        status = 200
+                        if not response.ok:
+                            code = (response.error or {}).get("code")
+                            status = HTTP_STATUS_BY_CODE.get(code, 500)
+                        self._respond(response, status,
+                                      headers={"X-Request-Id":
+                                               request_id})
+                        ok = response.ok
+                    else:
+                        ok = self._run_stream(data, fmt, token,
+                                              request_id)
+                    outcome = "ok" if ok else "error"
+                finally:
+                    server.admission.release()
+            finally:
+                server.unregister_token(request_id)
+        finally:
+            if token is not None and token.reason is not None:
+                outcome = ("rejected" if outcome == "rejected"
+                           else "cancelled")
+                server.metrics.inc("cancellations_total",
+                                   {"reason": token.reason})
+            server.metrics.inc("requests_total",
+                               {"kind": kind, "class": priority,
+                                "outcome": outcome})
+            server.metrics.observe("request_latency_s",
+                                   time.perf_counter() - started,
+                                   {"kind": kind})
+
+    def _run_stream(self, data: dict, fmt: str, token: CancelToken,
+                    request_id: str) -> bool:
+        """Stream one request; returns whether it fully succeeded
+        (envelope ok *and* delivered to a live client)."""
+        server = self.server
+        content_type = (NDJSON_CONTENT_TYPE if fmt == "ndjson"
+                        else SSE_CONTENT_TYPE)
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("X-Request-Id", request_id)
+        self.send_header("Connection", "close")
+        self.end_headers()
+        # From here the stream is close-delimited: no Content-Length,
+        # the envelope's framing carries its own byte count.
+        self.connection.settimeout(server.stream_write_timeout)
+        token.set_probe(self._disconnect_probe())
+        writer = EventStreamWriter(self.wfile, fmt, token=token)
+        server.metrics.inc("streams_total", {"format": fmt})
+        response = execute(data, events=writer, store=server.store,
+                           cancel=token.check)
+        delivered = writer.finish(response.to_json().encode())
+        ok = bool(response.ok and delivered)
+        server.count(ok)
+        return ok
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0,
+                store: Optional[ArtifactStore] = None,
+                allow_file_requests: bool = False,
+                queue_depth: int = 16,
+                max_active: Optional[int] = None,
+                deadline_cap: Optional[float] = None,
+                allow_streaming: bool = True) -> ReproServer:
+    """Bind (but do not run) a daemon; ``port=0`` picks a free port.
+
+    The caller owns the lifecycle: ``serve_forever()`` on any thread,
+    ``shutdown()`` + ``server_close()`` to stop.  Used directly by the
+    concurrency tests.
+    """
+    return ReproServer((host, port), store=store,
+                       allow_file_requests=allow_file_requests,
+                       queue_depth=queue_depth, max_active=max_active,
+                       deadline_cap=deadline_cap,
+                       allow_streaming=allow_streaming)
+
+
+def serve(host: str = "127.0.0.1", port: int = 8451,
+          store_dir: Optional[str] = None,
+          allow_file_requests: bool = False,
+          queue_depth: int = 16,
+          max_active: Optional[int] = None,
+          deadline_cap: Optional[float] = None,
+          allow_streaming: bool = True,
+          announce=print) -> None:
+    """Run the daemon until interrupted (the ``repro serve`` command)."""
+    store = ArtifactStore(root=store_dir)
+    server = make_server(host, port, store=store,
+                         allow_file_requests=allow_file_requests,
+                         queue_depth=queue_depth, max_active=max_active,
+                         deadline_cap=deadline_cap,
+                         allow_streaming=allow_streaming)
+    bound_host, bound_port = server.server_address[:2]
+    announce(f"repro serve: listening on http://{bound_host}:{bound_port}"
+             f" (schema_version {SCHEMA_VERSION}, store: "
+             f"{store_dir or 'in-memory'}, "
+             f"{server.admission.max_active} slots x "
+             f"{server.admission.queue_depth} queued)")
+    announce("POST /v1/execute /v1/stream /v1/cancel | "
+             "GET /v1/health /v1/kinds /v1/metrics -- Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

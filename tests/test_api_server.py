@@ -8,6 +8,7 @@ cache is hit, never rebuilt.
 
 import http.client
 import json
+import socket
 import threading
 from contextlib import closing, contextmanager
 
@@ -261,3 +262,78 @@ def test_daemon_non_string_kind_is_a_parse_error_not_500():
             {"kind": ["atpg"]}).encode())
         assert status == 400
         assert json.loads(body)["error"]["code"] == "parse"
+
+
+# ----------------------------------------------------------------------
+# hostile/confused bodies: size limits and chunked transfer framing
+# ----------------------------------------------------------------------
+def raw_http(server, request_bytes: bytes):
+    """Fire raw bytes at the daemon, return (status, json body)."""
+    host, port = server.server_address[:2]
+    with closing(socket.create_connection((host, port),
+                                          timeout=30)) as sock:
+        sock.sendall(request_bytes)
+        data = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)
+
+
+def test_oversized_body_is_413_envelope_not_a_dropped_connection():
+    from repro.api.server import MAX_BODY_BYTES
+
+    with running_server() as server:
+        status, payload = raw_http(server, (
+            "POST /v1/execute HTTP/1.1\r\n"
+            "Host: x\r\n"
+            f"Content-Length: {MAX_BODY_BYTES + 1}\r\n"
+            "\r\n").encode())
+        assert status == 413
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "too_large"
+        assert str(MAX_BODY_BYTES) in payload["error"]["message"]
+        # The daemon never read the phantom body; it still serves.
+        status, body = get(server, "/v1/health")
+        assert status == 200
+        assert json.loads(body)["requests_failed"] == 1
+
+
+def test_chunked_bodies_decode_and_malformed_chunks_are_400():
+    good = json.dumps({"kind": "list"}).encode()
+    chunked = (b"%x\r\n" % len(good)) + good + b"\r\n0\r\n\r\n"
+
+    with running_server() as server:
+        # A well-formed chunked POST decodes and executes normally.
+        status, payload = raw_http(server, (
+            b"POST /v1/execute HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n" + chunked))
+        assert status == 200
+        assert payload["ok"] is True and payload["command"] == "list"
+
+        # A garbage chunk-size line is a 400 parse envelope.
+        status, payload = raw_http(server, (
+            b"POST /v1/execute HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+            b"zz\r\n"))
+        assert status == 400
+        assert payload["error"]["code"] == "parse"
+        assert "chunk size" in payload["error"]["message"]
+
+        # Chunks adding past the body cap are a 413, pre-read.
+        status, payload = raw_http(server, (
+            b"POST /v1/execute HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+            b"400001\r\n"))
+        assert status == 413
+        assert payload["error"]["code"] == "too_large"

@@ -1,0 +1,205 @@
+"""AdmissionController: slots, bounded queues, weighted scheduling.
+
+Pure unit tests against the controller -- no HTTP.  The daemon-level
+behaviors (429 envelopes, Retry-After headers) ride on these
+primitives and are covered in ``test_serve_stream.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import OverloadFailure
+from repro.serve import AdmissionController, CancelToken
+from repro.serve.admission import INTERACTIVE_BURST
+from repro.serve.cancel import REASON_EXPLICIT
+
+
+def drain(threads, timeout=30):
+    for thread in threads:
+        thread.join(timeout=timeout)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+def wait_until(predicate, timeout=10):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition never became true")
+
+
+def test_fast_path_acquire_release():
+    admission = AdmissionController(max_active=2, queue_depth=4)
+    admission.acquire("interactive")
+    admission.acquire("batch")
+    assert admission.depths() == {"active": 2, "interactive": 0,
+                                  "batch": 0}
+    admission.release()
+    admission.release()
+    assert admission.depths()["active"] == 0
+
+
+def test_slot_context_manager_releases_on_error():
+    admission = AdmissionController(max_active=1, queue_depth=0)
+    with pytest.raises(RuntimeError):
+        with admission.slot():
+            assert admission.depths()["active"] == 1
+            raise RuntimeError("boom")
+    assert admission.depths()["active"] == 0
+
+
+def test_full_queue_rejected_with_retry_after():
+    admission = AdmissionController(max_active=1, queue_depth=0)
+    admission.acquire("interactive")
+    with pytest.raises(OverloadFailure) as info:
+        admission.acquire("interactive")
+    error = info.value
+    assert error.http_status == 429
+    assert error.retry_after_s >= 1
+    assert error.envelope()["retry_after_s"] == error.retry_after_s
+    admission.release()
+    # The slot freed up; admission works again.
+    admission.acquire("interactive")
+    admission.release()
+
+
+def test_retry_after_scales_with_backlog():
+    admission = AdmissionController(max_active=1, queue_depth=2)
+    admission.acquire("interactive")
+
+    def queued_waiter():
+        with admission.slot("batch"):
+            pass
+
+    threads = [threading.Thread(target=queued_waiter)
+               for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    wait_until(lambda: admission.depths()["batch"] == 2)
+    with pytest.raises(OverloadFailure) as info:
+        admission.acquire("batch")
+    # active(1) + waiting(2) over 1 slot -> told to come back in 3s.
+    assert info.value.retry_after_s == 3
+    admission.release()
+    drain(threads)
+
+
+def test_interactive_burst_weighting_bounds_batch_wait():
+    """With both classes queued, grants go I,I,I,I,B,I,I,B --
+    interactive wins bursts, batch is never starved."""
+    admission = AdmissionController(max_active=1, queue_depth=16)
+    admission.acquire("interactive")  # hold the only slot
+
+    order = []
+    order_lock = threading.Lock()
+
+    def worker(priority):
+        with admission.slot(priority):
+            with order_lock:
+                order.append(priority)
+
+    batch = [threading.Thread(target=worker, args=("batch",))
+             for _ in range(2)]
+    for thread in batch:
+        thread.start()
+    wait_until(lambda: admission.depths()["batch"] == 2)
+    interactive = [threading.Thread(target=worker, args=("interactive",))
+                   for _ in range(6)]
+    for thread in interactive:
+        thread.start()
+    wait_until(lambda: admission.depths()["interactive"] == 6)
+
+    admission.release()  # grants cascade one release at a time
+    drain(batch + interactive)
+
+    assert len(order) == 8
+    assert order.count("batch") == 2
+    # First batch grant lands right after one interactive burst.
+    assert order.index("batch") == INTERACTIVE_BURST
+    assert admission.depths() == {"active": 0, "interactive": 0,
+                                  "batch": 0}
+
+
+def test_cancelled_waiter_leaves_no_ghost():
+    admission = AdmissionController(max_active=1, queue_depth=4)
+    admission.acquire("interactive")
+
+    token = CancelToken()
+    raised = []
+
+    def waiter():
+        try:
+            admission.acquire("interactive", cancel=token)
+        except Exception as exc:
+            raised.append(exc)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    wait_until(lambda: admission.depths()["interactive"] == 1)
+    token.cancel(REASON_EXPLICIT)
+    drain([thread])
+    assert raised and "cancelled" in str(raised[0])
+    # The abandoned waiter is invisible and cannot absorb the slot.
+    assert admission.depths()["interactive"] == 0
+    admission.release()
+    admission.acquire("interactive")  # fast path works: no ghost holds it
+    admission.release()
+
+
+def test_grant_raced_by_cancellation_hands_slot_onward():
+    """A waiter cancelled in the same instant it is granted must give
+    the slot to the next waiter, not leak it."""
+    admission = AdmissionController(max_active=1, queue_depth=4)
+    admission.acquire("interactive")
+
+    token = CancelToken(deadline_s=0.15)
+    outcomes = []
+
+    def doomed():
+        try:
+            admission.acquire("interactive", cancel=token)
+            outcomes.append("granted")
+            admission.release()
+        except Exception:
+            outcomes.append("cancelled")
+
+    def survivor():
+        with admission.slot("interactive"):
+            outcomes.append("survivor")
+
+    first = threading.Thread(target=doomed)
+    first.start()
+    wait_until(lambda: admission.depths()["interactive"] == 1)
+    second = threading.Thread(target=survivor)
+    second.start()
+    wait_until(lambda: admission.depths()["interactive"] == 2)
+    time.sleep(0.3)  # let the doomed waiter's deadline lapse
+    admission.release()
+    drain([first, second])
+    assert "survivor" in outcomes
+    assert admission.depths()["active"] == 0
+
+
+def test_unknown_priority_class_queues_as_interactive():
+    admission = AdmissionController(max_active=1, queue_depth=4)
+    admission.acquire("interactive")
+
+    def waiter():
+        with admission.slot("frobnicate"):
+            pass
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    wait_until(lambda: admission.depths()["interactive"] == 1)
+    admission.release()
+    drain([thread])
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(max_active=0)
+    with pytest.raises(ValueError):
+        AdmissionController(queue_depth=-1)

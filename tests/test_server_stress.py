@@ -5,11 +5,16 @@ under ``stats_lock`` *statically*; this test proves it dynamically --
 N threads x M requests each, and afterwards ``requests_served`` equals
 exactly N*M with ``requests_failed`` exactly the number of deliberate
 bad requests.  A torn ``+= 1`` shows up as a shortfall here.
+
+The stream leg extends the hammer to vanished readers: clients that
+open ``/v1/stream`` and slam the connection shut mid-run must neither
+wedge a worker thread nor corrupt the served/failed ledger.
 """
 
 import http.client
 import json
 import threading
+import time
 from contextlib import closing, contextmanager
 
 from repro.api import ListRequest, make_server
@@ -92,3 +97,64 @@ def test_failed_requests_counted_exactly():
 
     assert health["requests_served"] == 4 * 10
     assert health["requests_failed"] == 4 * 5
+
+
+def test_vanished_stream_readers_do_not_wedge_or_corrupt_counters():
+    """The stream leg: readers that disconnect mid-run.
+
+    Each vanished stream must (a) be cancelled so its worker frees up,
+    (b) count as exactly one failed request, and (c) leave the daemon
+    able to serve the plain requests that follow at full speed.
+    """
+    n_streams = 4
+    n_good = 8
+    stream_body = json.dumps({
+        "kind": "atpg", "spec": "like:s382@0.5",
+        "modes": ["known"], "canonical": True}).encode()
+    good = json.dumps(ListRequest().to_dict()).encode()
+
+    with running_server() as server:
+        host, port = server.server_address[:2]
+
+        def vanish():
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            try:
+                conn.request("POST", "/v1/stream", body=stream_body,
+                             headers={"Content-Type":
+                                      "application/json"})
+                response = conn.getresponse()
+                # Prove the run is live, then walk away mid-stream.
+                assert response.readline()
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=vanish)
+                   for _ in range(n_streams)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        # Workers are free again: plain requests complete promptly.
+        for _ in range(n_good):
+            status, _body = post(server, good)
+            assert status == 200
+
+        # The abandoned streams are cancelled and counted within one
+        # disconnect-probe interval; poll briefly for the ledger.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            health = server.health()
+            if health["requests_served"] == n_streams + n_good:
+                break
+            time.sleep(0.05)
+        health = server.health()
+
+    assert health["requests_served"] == n_streams + n_good
+    assert health["requests_failed"] == n_streams
+    assert health["admission"]["active"] == 0
+    reasons = {
+        key: value for key, value in
+        server.metrics.to_dict()["counters"].items()
+        if key.startswith("cancellations_total")}
+    assert sum(reasons.values()) == n_streams
